@@ -1,0 +1,55 @@
+// Ablation B (ours, motivated by §3.2): ParaMount accepts any bounded
+// sequential enumerator as its subroutine. This bench compares the bounded
+// lexical, BFS and DFS subroutines on time, simulated 8-worker makespan and
+// working-set memory — quantifying why the paper pairs ParaMount with the
+// lexical algorithm.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace paramount;
+using namespace paramount::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "Ablation: ParaMount subroutine choice (bounded lexical vs BFS vs "
+      "DFS).");
+  add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+
+  const char* kRows[] = {"d-300", "d-500", "tsp"};
+
+  std::printf("=== Ablation: bounded subroutine choice ===\n");
+  std::printf("scale=%s\n\n", flags.get_string("scale").c_str());
+
+  Table table({"Benchmark", "subroutine", "T1", "makespan(8)", "peak memory",
+               "states"});
+
+  const std::string only = flags.get_string("only");
+  for (const char* row : kRows) {
+    if (!only.empty() && only != row) continue;
+    const auto posets = table1_posets(flags.get_string("scale"), row);
+    if (posets.empty()) continue;
+    const NamedPoset& np = posets.front();
+
+    for (const auto algorithm :
+         {EnumAlgorithm::kLexical, EnumAlgorithm::kBfs, EnumAlgorithm::kDfs}) {
+      std::fprintf(stderr, "[ablation-subroutine] %s/%s...\n", row,
+                   to_string(algorithm));
+      const ParaRun run = measure_paramount(algorithm, np.poset, np.order);
+      table.add_row({np.name, to_string(algorithm),
+                     format_seconds(run.t1_seconds),
+                     format_seconds(run.simulated_seconds(8)),
+                     format_bytes(run.peak_bytes), format_count(run.states)});
+    }
+    table.add_separator();
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nExpected: identical state counts (Theorem 2 holds for any bounded\n"
+      "subroutine); the lexical subroutine wins on both time and memory —\n"
+      "BFS/DFS pay for per-interval visited sets.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A (ours, motivated by §3.1): the choice of the linear extension
+// →p does not affect correctness, but it shapes the interval sizes and
+// therefore the load balance of Algorithm 1. This bench compares the three
+// topological policies on interval-size distribution, list-schedule makespan
+// at 8 workers, and the resulting simulated speedup.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "poset/topo_sort.hpp"
+#include "util/stats.hpp"
+
+using namespace paramount;
+using namespace paramount::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "Ablation: effect of the topological-order policy on ParaMount's load "
+      "balance.");
+  add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+
+  const char* kRows[] = {"d-300", "d-500", "tsp"};
+
+  std::printf("=== Ablation: topological-order policy vs load balance ===\n");
+  std::printf("scale=%s, subroutine=lexical\n\n",
+              flags.get_string("scale").c_str());
+
+  Table table({"Benchmark", "policy", "T1", "makespan(8)", "speedup(8)",
+               "imbalance", "largest interval"});
+
+  const std::string only = flags.get_string("only");
+  for (const char* row : kRows) {
+    if (!only.empty() && only != row) continue;
+    const auto posets = table1_posets(flags.get_string("scale"), row);
+    if (posets.empty()) continue;
+    const NamedPoset& np = posets.front();
+
+    for (const auto policy : {TopoPolicy::kInterleave,
+                              TopoPolicy::kThreadMajor, TopoPolicy::kRandom}) {
+      std::fprintf(stderr, "[ablation-topo] %s/%s...\n", row,
+                   to_string(policy));
+      const auto order = topological_sort(np.poset, policy, /*seed=*/1);
+      const ParaRun run =
+          measure_paramount(EnumAlgorithm::kLexical, np.poset, order);
+
+      const auto schedule = simulate_list_schedule(run.interval_seconds, 8);
+      const double largest =
+          run.interval_seconds.empty()
+              ? 0.0
+              : *std::max_element(run.interval_seconds.begin(),
+                                  run.interval_seconds.end());
+
+      char speedup[32], imbalance[32], share[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    run.t1_seconds / schedule.makespan);
+      std::snprintf(imbalance, sizeof(imbalance), "%.2f",
+                    schedule.imbalance());
+      std::snprintf(share, sizeof(share), "%.1f%% of work",
+                    100.0 * largest / std::max(schedule.total_work, 1e-12));
+
+      table.add_row({np.name, to_string(policy),
+                     format_seconds(run.t1_seconds),
+                     format_seconds(schedule.makespan), speedup, imbalance,
+                     share});
+    }
+    table.add_separator();
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nExpected: interleave and random orders balance well; thread-major\n"
+      "produces a few dominant intervals and caps the speedup (the largest\n"
+      "interval's share of total work bounds achievable parallelism).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared machinery for the reproduction benches (Tables 1-2, Figures 10-12,
+// ablations).
+//
+// Hardware note (DESIGN.md §5, substitution 3): this container has a single
+// core, so a p-worker run's wall clock cannot drop below the 1-worker time.
+// Speedup columns are therefore produced by measuring every interval's cost
+// once (1 worker) and replaying the costs through greedy list scheduling —
+// the exact schedule Algorithm 1's shared work queue induces on p cores.
+// Real multi-threaded runs are still executed where marked, as a correctness
+// exercise.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/paramount.hpp"
+#include "core/schedule_sim.hpp"
+#include "poset/poset.hpp"
+#include "util/cli.hpp"
+#include "util/mem_meter.hpp"
+#include "util/table.hpp"
+
+namespace paramount::bench {
+
+// A named benchmark poset with its →p order.
+struct NamedPoset {
+  std::string name;
+  Poset poset{0};
+  std::vector<EventId> order;  // linear extension used as →p
+};
+
+// The Table-1 workload suite. `scale`:
+//   "small"  — CI-sized (seconds per row),
+//   "default"— the reported configuration (a few minutes total),
+//   "paper"  — the paper's original event counts (hours; 10^9+ states).
+// `only` restricts to one benchmark name (empty = all).
+std::vector<NamedPoset> table1_posets(const std::string& scale,
+                                      const std::string& only = "");
+
+// Registers the standard bench flags shared by the reproduction binaries.
+void add_common_flags(CliFlags& flags);
+
+// ---- measured runs ----
+
+struct SeqRun {
+  double seconds = 0.0;
+  std::uint64_t states = 0;
+  std::uint64_t peak_bytes = 0;
+  bool out_of_memory = false;
+};
+
+// One sequential enumeration under an optional memory budget.
+SeqRun run_sequential(EnumAlgorithm algorithm, const Poset& poset,
+                      std::uint64_t budget_bytes = MemoryMeter::kUnlimited);
+
+struct ParaRun {
+  double t1_seconds = 0.0;  // measured with one worker
+  std::vector<double> interval_seconds;  // per-interval costs, →p order
+  std::uint64_t states = 0;
+  std::uint64_t peak_bytes = 0;
+  bool out_of_memory = false;
+
+  // Greedy list-schedule makespan for `workers` cores (seconds).
+  double simulated_seconds(std::size_t workers) const;
+};
+
+// Measures ParaMount with the given subroutine: one 1-worker pass that
+// records per-interval costs (feeding the simulated speedups).
+ParaRun measure_paramount(EnumAlgorithm subroutine, const Poset& poset,
+                          const std::vector<EventId>& order,
+                          std::uint64_t budget_bytes = MemoryMeter::kUnlimited);
+
+// A real multi-threaded run (correctness exercise on a 1-core host).
+double run_paramount_real(EnumAlgorithm subroutine, const Poset& poset,
+                          const std::vector<EventId>& order,
+                          std::size_t workers);
+
+// "o.o.m." / "skip" / formatted seconds — the Table-1 cell convention.
+std::string time_cell(double seconds, bool out_of_memory);
+
+}  // namespace paramount::bench

@@ -1,0 +1,58 @@
+// Ablation D (ours, motivated by §5.3): happened-before prediction only
+// infers reorderings consistent with the observed poset; re-executing under
+// controlled schedules (the RichTest idea) produces new posets and therefore
+// new predictions. This bench compares a single observed run against a
+// deterministic exploration over several cooperative schedules.
+#include <cstdio>
+
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/harness.hpp"
+
+using namespace paramount;
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "Ablation: single-trace prediction vs controlled schedule "
+      "exploration.");
+  flags.add_int("scale", 1, "workload scale multiplier");
+  flags.add_int("schedules", 6, "controlled schedules per program");
+  flags.add_string("only", "", "restrict to one program");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto scale = static_cast<std::size_t>(flags.get_int("scale"));
+  const auto schedules =
+      static_cast<std::size_t>(flags.get_int("schedules"));
+
+  std::printf("=== Ablation: schedule exploration (deterministic replay) ===\n");
+  std::printf("scale=%zu, schedules=%zu, policy=chunked\n\n", scale,
+              schedules);
+
+  Table table({"Benchmark", "1 observed run", "exploration union",
+               "distinct posets", "states enumerated"});
+
+  for (const TracedProgramSpec& spec : traced_programs()) {
+    if (!flags.get_string("only").empty() &&
+        flags.get_string("only") != spec.name) {
+      continue;
+    }
+    std::fprintf(stderr, "[exploration] %s...\n", spec.name.c_str());
+
+    const auto single = run_paramount_detector(spec, scale);
+    const auto explored = explore_schedules(
+        spec, scale, schedules, ScheduleController::Policy::kChunked, 1);
+
+    table.add_row({spec.name, std::to_string(single.racy_fields.size()),
+                   std::to_string(explored.racy_fields.size()),
+                   std::to_string(explored.distinct_posets),
+                   format_count(explored.total_states)});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nExpected: the exploration union is never smaller than a single\n"
+      "run's detections and is schedule-deterministic (replayable); the\n"
+      "race-free programs stay at 0 under every schedule.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Micro benchmarks (google-benchmark) for the hot primitives underneath the
+// enumeration stack: vector-clock operations, the lexical successor step,
+// BFS level expansion, interval computation, topological sorting, and the
+// concurrent containers.
+#include <benchmark/benchmark.h>
+
+#include "core/interval.hpp"
+#include "enumeration/bfs_enumerator.hpp"
+#include "enumeration/lexical_enumerator.hpp"
+#include "poset/lattice.hpp"
+#include "poset/topo_sort.hpp"
+#include "util/stable_vector.hpp"
+#include "workloads/random_poset.hpp"
+
+namespace paramount {
+namespace {
+
+Poset bench_poset(std::size_t processes, std::size_t events) {
+  RandomPosetParams params;
+  params.num_processes = processes;
+  params.num_events = events;
+  params.message_probability = 0.9;
+  params.seed = 99;
+  return make_random_poset(params);
+}
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  VectorClock a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<EventIndex>(i * 3 % 7);
+    b[i] = static_cast<EventIndex>(i * 5 % 11);
+  }
+  for (auto _ : state) {
+    VectorClock c = a;
+    c.join(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(10)->Arg(32);
+
+void BM_VectorClockLeq(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  VectorClock a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<EventIndex>(i + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.leq(b));
+  }
+}
+BENCHMARK(BM_VectorClockLeq)->Arg(4)->Arg(10)->Arg(32);
+
+void BM_LexicalSuccessor(benchmark::State& state) {
+  const Poset poset = bench_poset(10, 48);
+  const Frontier lo = poset.empty_frontier();
+  const Frontier hi = poset.full_frontier();
+  Frontier cursor = lo;
+  for (auto _ : state) {
+    if (!lexical_successor(poset, lo, hi, cursor)) cursor = lo;
+    benchmark::DoNotOptimize(cursor);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LexicalSuccessor);
+
+void BM_LexicalFullEnumeration(benchmark::State& state) {
+  const Poset poset = bench_poset(8, static_cast<std::size_t>(state.range(0)));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    states = enumerate_lexical(poset, [](const Frontier&) {}).states;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states) *
+                          state.iterations());
+}
+BENCHMARK(BM_LexicalFullEnumeration)->Arg(24)->Arg(32);
+
+void BM_BfsFullEnumeration(benchmark::State& state) {
+  const Poset poset = bench_poset(8, static_cast<std::size_t>(state.range(0)));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    states = enumerate_bfs(poset, [](const Frontier&) {}).states;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states) *
+                          state.iterations());
+}
+BENCHMARK(BM_BfsFullEnumeration)->Arg(24)->Arg(32);
+
+void BM_ComputeIntervals(benchmark::State& state) {
+  const Poset poset =
+      bench_poset(10, static_cast<std::size_t>(state.range(0)));
+  const auto order = topological_sort(poset, TopoPolicy::kInterleave);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_intervals(poset, order));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(order.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ComputeIntervals)->Arg(100)->Arg(1000);
+
+void BM_TopologicalSort(benchmark::State& state) {
+  const Poset poset =
+      bench_poset(10, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topological_sort(poset, TopoPolicy::kInterleave));
+  }
+}
+BENCHMARK(BM_TopologicalSort)->Arg(100)->Arg(1000);
+
+void BM_StableVectorPushBack(benchmark::State& state) {
+  for (auto _ : state) {
+    StableVector<std::uint64_t> v;
+    for (std::uint64_t i = 0; i < 1024; ++i) v.push_back(i);
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.SetItemsProcessed(1024 * state.iterations());
+}
+BENCHMARK(BM_StableVectorPushBack);
+
+void BM_StableVectorRead(benchmark::State& state) {
+  StableVector<std::uint64_t> v;
+  for (std::uint64_t i = 0; i < 4096; ++i) v.push_back(i);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 4096; ++i) sum += v[i];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(4096 * state.iterations());
+}
+BENCHMARK(BM_StableVectorRead);
+
+void BM_IsConsistent(benchmark::State& state) {
+  const Poset poset = bench_poset(10, 60);
+  const Frontier frontier = poset.full_frontier();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poset.is_consistent(frontier));
+  }
+}
+BENCHMARK(BM_IsConsistent);
+
+}  // namespace
+}  // namespace paramount
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Table 1 of the paper: running time of the BFS algorithm, B-Para(1/2/4/8),
+// the lexical algorithm, and L-Para(1/2/4/8) over the benchmark posets,
+// together with n, #events and #global states.
+//
+// Column semantics on this single-core host:
+//   * BFS / Lexical / *-Para(1): measured wall-clock seconds;
+//   * *-Para(2/4/8): list-scheduling makespan of the measured per-interval
+//     costs (see bench_common.hpp) — the p-core projection;
+//   * the final column is one real 8-worker run (threads actually spawned),
+//     expected ≈ the 1-worker time on one core.
+// "o.o.m." marks a run that exceeded --bfs-budget-mb, reproducing the
+// paper's out-of-memory rows under its 2 GB JVM heap.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace paramount;
+using namespace paramount::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "Reproduces Table 1: sequential BFS/lexical vs B-Para/L-Para.");
+  add_common_flags(flags);
+  flags.add_bool("real-8", true, "also run a real 8-worker pass per row");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(flags.get_int("bfs-budget-mb")) << 20;
+
+  std::printf("=== Table 1: global-states enumeration running time ===\n");
+  std::printf("scale=%s, BFS budget=%lld MiB\n\n",
+              flags.get_string("scale").c_str(),
+              static_cast<long long>(flags.get_int("bfs-budget-mb")));
+
+  Table table({"Benchmark", "n", "#events", "#states", "BFS", "B-Para(1)",
+               "B-Para(2)", "B-Para(4)", "B-Para(8)", "Lexical", "L-Para(1)",
+               "L-Para(2)", "L-Para(4)", "L-Para(8)", "real L-Para(8)"});
+
+  for (const NamedPoset& np :
+       table1_posets(flags.get_string("scale"), flags.get_string("only"))) {
+    std::fprintf(stderr, "[table1] %s: BFS...\n", np.name.c_str());
+    const SeqRun bfs = run_sequential(EnumAlgorithm::kBfs, np.poset, budget);
+    std::fprintf(stderr, "[table1] %s: B-Para...\n", np.name.c_str());
+    const ParaRun bpara =
+        measure_paramount(EnumAlgorithm::kBfs, np.poset, np.order, budget);
+    std::fprintf(stderr, "[table1] %s: lexical...\n", np.name.c_str());
+    const SeqRun lexical = run_sequential(EnumAlgorithm::kLexical, np.poset);
+    const ParaRun lpara =
+        measure_paramount(EnumAlgorithm::kLexical, np.poset, np.order);
+
+    double real8 = 0.0;
+    if (flags.get_bool("real-8")) {
+      real8 = run_paramount_real(EnumAlgorithm::kLexical, np.poset, np.order,
+                                 8);
+    }
+
+    auto para_cell = [](const ParaRun& run, std::size_t workers) {
+      if (run.out_of_memory) return std::string("o.o.m.");
+      return format_seconds(workers == 1 ? run.t1_seconds
+                                         : run.simulated_seconds(workers));
+    };
+
+    table.add_row({np.name, std::to_string(np.poset.num_threads()),
+                   format_count(np.poset.total_events()),
+                   format_count(lexical.states),
+                   time_cell(bfs.seconds, bfs.out_of_memory),
+                   para_cell(bpara, 1), para_cell(bpara, 2),
+                   para_cell(bpara, 4), para_cell(bpara, 8),
+                   time_cell(lexical.seconds, false), para_cell(lpara, 1),
+                   para_cell(lpara, 2), para_cell(lpara, 4),
+                   para_cell(lpara, 8),
+                   flags.get_bool("real-8") ? format_seconds(real8) : "-"});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nNotes: *-Para(k>1) columns are list-schedule makespans of measured\n"
+      "per-interval costs (single-core host; see DESIGN.md substitution 3).\n"
+      "The real L-Para(8) column spawns 8 actual worker threads.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Table 2 of the paper: online-and-parallel data-race detection with
+// ParaMount vs the RV-runtime analogue (offline BFS enumeration + Figure-3
+// predicate) vs FastTrack, across ten concurrent programs.
+//
+// For each program: Base = the instrumented program with a discarding sink;
+// ParaMount and FastTrack run online (detection piggybacked on the program's
+// own threads); the RV analogue is 2-pass (record, then detect offline).
+// Detections are counted per field, like the Java tools' field-granular
+// reports.
+#include <cstdio>
+
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/harness.hpp"
+
+using namespace paramount;
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "Reproduces Table 2: data-race detection with ParaMount, the "
+      "RV-runtime analogue and FastTrack.");
+  flags.add_int("scale", 1, "workload scale multiplier");
+  flags.add_int("repeats", 3,
+                "schedules per program (detections are unioned; times "
+                "averaged) — race presence depends on the observed schedule");
+  flags.add_string("only", "", "restrict to one program");
+  flags.add_int("rv-budget-mb", 128,
+                "memory budget for the RV analogue's BFS (MiB)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto scale = static_cast<std::size_t>(flags.get_int("scale"));
+  const auto repeats = static_cast<int>(flags.get_int("repeats"));
+  const std::uint64_t rv_budget =
+      static_cast<std::uint64_t>(flags.get_int("rv-budget-mb")) << 20;
+
+  std::printf("=== Table 2: data-race detection ===\n");
+  std::printf("scale=%zu, repeats=%d\n\n", scale, repeats);
+
+  Table table({"Benchmark", "Thr", "#Var", "#Events", "Base", "ParaMount",
+               "RV-analogue", "FastTrack", "#P", "#RV", "#FT"});
+
+  for (const TracedProgramSpec& spec : traced_programs()) {
+    if (!flags.get_string("only").empty() &&
+        flags.get_string("only") != spec.name) {
+      continue;
+    }
+    std::fprintf(stderr, "[table2] %s...\n", spec.name.c_str());
+
+    RunningStats base_s, para_s, rv_s, ft_s;
+    std::set<std::string> para_fields, rv_fields, ft_fields;
+    std::uint64_t events = 0;
+    std::size_t num_vars = 0;
+    bool rv_oom = false;
+
+    for (int rep = 0; rep < repeats; ++rep) {
+      base_s.add(run_base(spec, scale).seconds);
+
+      const auto para = run_paramount_detector(spec, scale);
+      para_s.add(para.seconds);
+      para_fields.insert(para.racy_fields.begin(), para.racy_fields.end());
+      events = para.events;
+
+      const auto rv = run_offline_bfs_detector(spec, scale, rv_budget);
+      rv_s.add(rv.seconds);
+      rv_fields.insert(rv.racy_fields.begin(), rv.racy_fields.end());
+      rv_oom |= rv.out_of_memory;
+
+      const auto ft = run_fasttrack_detector(spec, scale);
+      ft_s.add(ft.seconds);
+      ft_fields.insert(ft.racy_fields.begin(), ft.racy_fields.end());
+    }
+    {
+      // Count the variables once via a plain recording pass.
+      const RecordedTrace trace = record_program(spec, scale, false);
+      num_vars = trace.runtime->num_vars();
+    }
+
+    table.add_row({spec.name, std::to_string(spec.num_threads),
+                   std::to_string(num_vars), format_count(events),
+                   format_seconds(base_s.mean()),
+                   format_seconds(para_s.mean()),
+                   rv_oom ? "o.o.m." : format_seconds(rv_s.mean()),
+                   format_seconds(ft_s.mean()),
+                   std::to_string(para_fields.size()),
+                   std::to_string(rv_fields.size()),
+                   std::to_string(ft_fields.size())});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nPaper shape: ParaMount ≈ FastTrack and 10-50x faster than the\n"
+      "BFS-based RV analogue; #P matches the known racy-field counts\n"
+      "(banking 1, set_faulty ≥1, set_correct 0, arraylist1 3, arraylist2 0,\n"
+      "sor 0, elevator 0, tsp 1, raytracer 1, hedc 4); FastTrack\n"
+      "additionally reports the benign initialization race on set_correct.\n"
+      "moldyn (0) and montecarlo (1) are extra workloads beyond the paper's\n"
+      "Table 2.\n");
+  return 0;
+}

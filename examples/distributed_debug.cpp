@@ -1,0 +1,84 @@
+// Distributed-systems flavour: generate a random distributed computation
+// (processes exchanging messages), inspect its lattice of consistent global
+// states, and use ParaMount to evaluate a *relational* predicate over every
+// state — "could the sum of all process-local counters ever exceed a bound
+// in any consistent snapshot?" — the kind of global invariant Chandy-Lamport
+// snapshots approximate and predicate detection answers exactly.
+//
+//   $ ./build/examples/distributed_debug [--processes=6] [--events=48]
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "core/paramount.hpp"
+#include "poset/lattice.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "workloads/random_poset.hpp"
+
+using namespace paramount;
+
+int main(int argc, char** argv) {
+  CliFlags flags("Global-invariant checking over a distributed computation.");
+  flags.add_int("processes", 6, "number of processes");
+  flags.add_int("events", 48, "total events");
+  flags.add_double("message-prob", 0.7, "message density");
+  flags.add_int("seed", 7, "generator seed");
+  flags.add_int("workers", 4, "ParaMount workers");
+  if (!flags.parse(argc, argv)) return 0;
+
+  RandomPosetParams params;
+  params.num_processes = static_cast<std::size_t>(flags.get_int("processes"));
+  params.num_events = static_cast<std::size_t>(flags.get_int("events"));
+  params.message_probability = flags.get_double("message-prob");
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const Poset poset = make_random_poset(params);
+
+  std::printf("Computation: %zu processes, %zu events\n", poset.num_threads(),
+              poset.total_events());
+
+  // Each event increments its process counter by (tid + 1); receives reset
+  // the counter. The invariant: total across processes stays below `bound`.
+  // Precompute per-(process, prefix) counter values.
+  std::vector<std::vector<long>> counter(poset.num_threads());
+  for (ThreadId t = 0; t < poset.num_threads(); ++t) {
+    counter[t].resize(poset.num_events(t) + 1, 0);
+    for (EventIndex i = 1; i <= poset.num_events(t); ++i) {
+      const Event& e = poset.event(t, i);
+      counter[t][i] = e.kind == OpKind::kReceive
+                          ? 0
+                          : counter[t][i - 1] + static_cast<long>(t) + 1;
+    }
+  }
+
+  const long bound = 3 * static_cast<long>(poset.num_threads());
+  std::atomic<std::uint64_t> violating{0};
+  std::atomic<long> worst{0};
+
+  ParamountOptions options;
+  options.num_workers = static_cast<std::size_t>(flags.get_int("workers"));
+  const ParamountResult result =
+      enumerate_paramount(poset, options, [&](const Frontier& state) {
+        long total = 0;
+        for (ThreadId t = 0; t < state.size(); ++t) {
+          total += counter[t][state[t]];
+        }
+        if (total > bound) {
+          violating.fetch_add(1, std::memory_order_relaxed);
+          long prev = worst.load(std::memory_order_relaxed);
+          while (total > prev && !worst.compare_exchange_weak(
+                                     prev, total, std::memory_order_relaxed)) {
+          }
+        }
+      });
+
+  std::printf("Consistent global states: %s\n",
+              format_count(result.states).c_str());
+  std::printf("States violating sum <= %ld: %s (worst observed sum %ld)\n",
+              bound, format_count(violating.load()).c_str(), worst.load());
+  std::printf(
+      "\nEvery one of those is a snapshot some legal schedule could reach —\n"
+      "a monitor sampling only the observed schedule would miss most of "
+      "them.\n");
+  return 0;
+}

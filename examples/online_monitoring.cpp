@@ -1,0 +1,101 @@
+// General predicate detection with online ParaMount (Algorithm 4): the
+// enumeration makes NO assumption about the predicate, so any condition over
+// global states can be checked — here, a mutual-exclusion invariant.
+//
+// Two threads run critical sections; "enter" and "exit" events are streamed
+// into online ParaMount as they happen, and the predicate flags any
+// *reachable* global state in which both threads are between their enter and
+// exit events. A correct run (hand-off through a lock-like dependency) stays
+// clean; a buggy run (no ordering) is caught predictively.
+//
+//   $ ./build/examples/online_monitoring
+#include <cstdio>
+#include <vector>
+
+#include "core/online_paramount.hpp"
+
+using namespace paramount;
+
+namespace {
+
+// Event payloads: what each event did, per thread and index.
+enum class Op : std::uint32_t { kWork = 0, kEnter = 1, kExit = 2 };
+
+// Tracks, per thread, the indices of enter/exit events so the predicate can
+// tell whether a frontier leaves a thread inside its critical section.
+struct CriticalSectionMonitor {
+  std::vector<std::vector<Op>> ops;  // per thread, per 1-based index
+  std::uint64_t violations = 0;
+
+  explicit CriticalSectionMonitor(std::size_t threads) : ops(threads) {}
+
+  bool inside(ThreadId t, EventIndex progress) const {
+    // A thread is inside iff the last enter/exit op at or before `progress`
+    // is an enter.
+    for (EventIndex i = progress; i >= 1; --i) {
+      const Op op = ops[t][i - 1];
+      if (op == Op::kEnter) return true;
+      if (op == Op::kExit) return false;
+    }
+    return false;
+  }
+
+  void check(const Frontier& state) {
+    std::size_t threads_inside = 0;
+    for (ThreadId t = 0; t < ops.size(); ++t) {
+      if (inside(t, state[t])) ++threads_inside;
+    }
+    if (threads_inside > 1) ++violations;
+  }
+};
+
+std::uint64_t run_scenario(bool synchronized_handoff) {
+  CriticalSectionMonitor monitor(2);
+  OnlineParamount paramount(
+      2, {},
+      [&](const OnlinePoset&, EventId, const Frontier& state) {
+        monitor.check(state);
+      });
+
+  auto emit = [&](ThreadId t, Op op, VectorClock clock) {
+    monitor.ops[t].push_back(op);
+    paramount.submit(t, OpKind::kInternal, static_cast<std::uint32_t>(op),
+                     std::move(clock));
+  };
+
+  // Thread 0: work, enter, exit.
+  emit(0, Op::kWork, VectorClock{1, 0});
+  emit(0, Op::kEnter, VectorClock{2, 0});
+  emit(0, Op::kExit, VectorClock{3, 0});
+  // Thread 1: enter, exit — either causally after thread 0's exit (correct
+  // hand-off) or concurrent with it (bug).
+  if (synchronized_handoff) {
+    emit(1, Op::kEnter, VectorClock{3, 1});  // saw thread 0's exit
+    emit(1, Op::kExit, VectorClock{3, 2});
+  } else {
+    emit(1, Op::kEnter, VectorClock{0, 1});  // concurrent with thread 0
+    emit(1, Op::kExit, VectorClock{0, 2});
+  }
+  paramount.drain();
+  std::printf("  states enumerated: %llu, violations: %llu\n",
+              static_cast<unsigned long long>(paramount.states_enumerated()),
+              static_cast<unsigned long long>(monitor.violations));
+  return monitor.violations;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Correct hand-off (enter_1 causally after exit_0):\n");
+  const auto clean = run_scenario(/*synchronized_handoff=*/true);
+  std::printf("Buggy version (no ordering between the critical sections):\n");
+  const auto buggy = run_scenario(/*synchronized_handoff=*/false);
+  std::printf(
+      "\nThe observed schedule never ran both threads inside the section at\n"
+      "once; the violation is found on an *inferred* path (%llu reachable\n"
+      "states violate mutual exclusion; 0 expected for the correct "
+      "hand-off: got %llu).\n",
+      static_cast<unsigned long long>(buggy),
+      static_cast<unsigned long long>(clean));
+  return clean == 0 && buggy > 0 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Quickstart: build the poset from the paper's running example (Figures 1-2),
+// enumerate its consistent global states with the sequential algorithms and
+// with ParaMount, and show the interval partition ParaMount works from.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/paramount.hpp"
+#include "enumeration/dispatch.hpp"
+#include "poset/poset_builder.hpp"
+
+using namespace paramount;
+
+int main() {
+  // The execution of Figure 1: thread 0 runs e1, x.notify, e3; thread 1 runs
+  // x.wait, e2; the monitor hand-off orders x.notify → x.wait.
+  PosetBuilder builder(2);
+  builder.add_event(0, OpKind::kInternal);                    // e1
+  const EventId notify = builder.add_event(0, OpKind::kRelease);  // x.notify
+  builder.add_event(0, OpKind::kInternal);                    // e3
+  builder.add_event_after(1, notify, OpKind::kAcquire);       // x.wait
+  builder.add_event(1, OpKind::kInternal);                    // e2
+  const Poset poset = std::move(builder).build();
+
+  std::printf("Poset: %zu threads, %zu events\n", poset.num_threads(),
+              poset.total_events());
+
+  // Sequential enumeration, lexical order (Ganter/Garg).
+  std::printf("\nConsistent global states (lexical order):\n");
+  enumerate_lexical(poset, [&](const Frontier& g) {
+    std::printf("  %s%s\n", g.to_string().c_str(),
+                g == poset.full_frontier() ? "  <- final state G8" : "");
+  });
+
+  // The interval partition ParaMount enumerates in parallel (§3.1).
+  std::printf("\nInterval partition under the interleave order:\n");
+  for (const Interval& iv :
+       compute_intervals(poset, TopoPolicy::kInterleave)) {
+    std::printf("  I(%s): Gmin=%s  Gbnd=%s\n", iv.event.to_string().c_str(),
+                iv.gmin.to_string().c_str(), iv.gbnd.to_string().c_str());
+  }
+
+  // Parallel enumeration: every state exactly once, from 4 workers.
+  ParamountOptions options;
+  options.num_workers = 4;
+  const ParamountResult result =
+      enumerate_paramount(poset, options, [](const Frontier&) {});
+  std::printf("\nParaMount with 4 workers enumerated %llu states "
+              "(the paper's G1..G8).\n",
+              static_cast<unsigned long long>(result.states));
+  return 0;
+}

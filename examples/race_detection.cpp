@@ -1,0 +1,71 @@
+// Online-and-parallel data-race detection (§4 of the paper): run a small
+// concurrent program under the tracing runtime with the ParaMount detector
+// and FastTrack side by side, and print what each reports.
+//
+//   $ ./build/examples/race_detection
+#include <cstdio>
+
+#include "detect/fasttrack.hpp"
+#include "detect/online_detector.hpp"
+#include "runtime/tracer.hpp"
+
+using namespace paramount;
+
+int main() {
+  OnlineRaceDetector paramount_detector(3, {});
+  FastTrackDetector fasttrack(3);
+  TeeSink sinks({&paramount_detector, &fasttrack});
+
+  TraceRuntime runtime({.num_threads = 3}, sinks);
+  paramount_detector.attach(runtime.access_table());
+
+  TracedMutex mutex(runtime, "m");
+  TracedVar<int> protected_counter(runtime, "protected_counter", 0);
+  TracedVar<int> unprotected_counter(runtime, "unprotected_counter", 0);
+
+  {
+    TracedThread worker_a(runtime, [&] {
+      for (int i = 0; i < 5; ++i) {
+        {
+          TracedLockGuard guard(mutex);  // correct
+          protected_counter.store(protected_counter.load() + 1);
+        }
+        // BUG: unsynchronized read-modify-write.
+        unprotected_counter.store(unprotected_counter.load() + 1);
+      }
+    });
+    TracedThread worker_b(runtime, [&] {
+      for (int i = 0; i < 5; ++i) {
+        {
+          TracedLockGuard guard(mutex);
+          protected_counter.store(protected_counter.load() + 1);
+        }
+        unprotected_counter.store(unprotected_counter.load() + 1);
+      }
+    });
+    worker_a.join();
+    worker_b.join();
+  }
+  runtime.finish();
+  paramount_detector.drain();
+
+  std::printf("events recorded: %zu, global states enumerated: %llu\n",
+              paramount_detector.poset().total_events(),
+              static_cast<unsigned long long>(
+                  paramount_detector.states_enumerated()));
+
+  std::printf("\nParaMount detector (predictive, Algorithm 5/6):\n");
+  for (const RaceFinding& f : paramount_detector.report().findings()) {
+    std::printf("  race on '%s' between %s and %s\n",
+                runtime.var_name(f.var).c_str(), f.first.to_string().c_str(),
+                f.second.to_string().c_str());
+  }
+  std::printf("\nFastTrack:\n");
+  for (const RaceFinding& f : fasttrack.report().findings()) {
+    std::printf("  race on '%s'\n", runtime.var_name(f.var).c_str());
+  }
+  std::printf(
+      "\nExpected: both report 'unprotected_counter' only — the lock-\n"
+      "protected counter is clean in every inferred interleaving.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "core/interval.hpp"
+
+namespace paramount {
+
+std::vector<Interval> compute_intervals(const Poset& poset,
+                                        const std::vector<EventId>& order) {
+  PM_CHECK_MSG(is_linear_extension(poset, order),
+               "compute_intervals requires a linear extension of the poset");
+  std::vector<Interval> intervals;
+  intervals.reserve(order.size());
+
+  Frontier running = poset.empty_frontier();
+  for (const EventId id : order) {
+    running[id.tid] = id.index;
+    Interval iv;
+    iv.event = id;
+    iv.gmin = poset.vc(id.tid, id.index);
+    iv.gbnd = running;
+    PM_DCHECK(iv.gmin.leq(iv.gbnd));
+    intervals.push_back(std::move(iv));
+  }
+  return intervals;
+}
+
+std::vector<Interval> compute_intervals(const Poset& poset, TopoPolicy policy,
+                                        std::uint64_t seed) {
+  return compute_intervals(poset, topological_sort(poset, policy, seed));
+}
+
+}  // namespace paramount

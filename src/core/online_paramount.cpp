@@ -1,0 +1,50 @@
+#include "core/online_paramount.hpp"
+
+namespace paramount {
+
+OnlineParamount::OnlineParamount(std::size_t num_threads, Options options,
+                                 IntervalStateVisitor visit)
+    : poset_(num_threads), options_(options), visit_(std::move(visit)) {
+  PM_CHECK(visit_ != nullptr);
+  if (options_.async_workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.async_workers);
+  }
+}
+
+OnlineParamount::~OnlineParamount() {
+  if (pool_ != nullptr) pool_->wait_idle();
+}
+
+EventId OnlineParamount::submit(ThreadId tid, OpKind kind,
+                                std::uint32_t object, VectorClock clock) {
+  const OnlinePoset::Inserted ins =
+      poset_.insert(tid, kind, object, std::move(clock));
+  if (pool_ != nullptr) {
+    pool_->submit([this, ins] { enumerate_interval(ins); });
+  } else {
+    enumerate_interval(ins);
+  }
+  return ins.id;
+}
+
+void OnlineParamount::drain() {
+  if (pool_ != nullptr) pool_->wait_idle();
+}
+
+void OnlineParamount::enumerate_interval(const OnlinePoset::Inserted& ins) {
+  std::uint64_t states = 0;
+  // The empty state {0,…,0} belongs to the interval of the first event in
+  // the insertion order →p (Figure 6a).
+  if (ins.first) {
+    visit_(poset_, ins.id, poset_.empty_frontier());
+    ++states;
+  }
+  const EnumStats stats = enumerate_box(
+      options_.subroutine, poset_, ins.gmin, ins.gbnd,
+      [&](const Frontier& state) { visit_(poset_, ins.id, state); });
+  states += stats.states;
+  states_.fetch_add(states, std::memory_order_relaxed);
+  intervals_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace paramount

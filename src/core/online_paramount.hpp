@@ -1,0 +1,79 @@
+// Online ParaMount (Algorithm 4 of the paper).
+//
+// Events stream in while the monitored program runs. Each submission inserts
+// the event into the concurrently readable OnlinePoset (the atomic block of
+// Algorithm 4: →p = insertion order, Gmin = the event's clock, Gbnd = a
+// snapshot of the maximal frontier), then enumerates the interval I(e) with
+// the bounded subroutine. By Theorem 3 the enumeration may run concurrently
+// with further insertions, so multiple intervals are processed in parallel.
+//
+// Two execution modes:
+//   * inline (async_workers == 0): the submitting thread enumerates its own
+//     interval before returning — the configuration of the paper's online
+//     detector ("after a thread executes an event, the thread is immediately
+//     used to enumerate the interval");
+//   * pooled (async_workers > 0): intervals are queued to a dedicated worker
+//     pool and submission returns immediately; call drain() to synchronize.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "enumeration/dispatch.hpp"
+#include "poset/online_poset.hpp"
+#include "util/thread_pool.hpp"
+
+namespace paramount {
+
+class OnlineParamount {
+ public:
+  struct Options {
+    EnumAlgorithm subroutine = EnumAlgorithm::kLexical;
+    std::size_t async_workers = 0;  // 0 = enumerate inline on submit
+  };
+
+  // Visitor invoked once per enumerated global state, possibly from several
+  // threads at once. `owner` is the event whose interval is being enumerated
+  // (the predicate's "new event e"); `state` is only valid during the call.
+  using IntervalStateVisitor =
+      std::function<void(const OnlinePoset& poset, EventId owner,
+                         const Frontier& state)>;
+
+  OnlineParamount(std::size_t num_threads, Options options,
+                  IntervalStateVisitor visit);
+  ~OnlineParamount();
+
+  OnlineParamount(const OnlineParamount&) = delete;
+  OnlineParamount& operator=(const OnlineParamount&) = delete;
+
+  // Inserts an event (clock already computed per Algorithm 3) and enumerates
+  // its interval per the execution mode. Thread-safe. Returns the event id.
+  EventId submit(ThreadId tid, OpKind kind, std::uint32_t object,
+                 VectorClock clock);
+
+  // Waits until every queued interval has been enumerated (no-op inline).
+  void drain();
+
+  const OnlinePoset& poset() const { return poset_; }
+
+  std::uint64_t states_enumerated() const {
+    return states_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t intervals_processed() const {
+    return intervals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void enumerate_interval(const OnlinePoset::Inserted& ins);
+
+  OnlinePoset poset_;
+  Options options_;
+  IntervalStateVisitor visit_;
+  std::unique_ptr<ThreadPool> pool_;  // null in inline mode
+  std::atomic<std::uint64_t> states_{0};
+  std::atomic<std::uint64_t> intervals_{0};
+};
+
+}  // namespace paramount

@@ -1,0 +1,196 @@
+#include "core/paramount.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace paramount {
+
+ParamountResult enumerate_paramount(const Poset& poset,
+                                    const ParamountOptions& options,
+                                    StateVisitor visit) {
+  const std::vector<Interval> intervals =
+      compute_intervals(poset, options.topo_policy, options.seed);
+  return enumerate_paramount(poset, intervals, options, visit);
+}
+
+ParamountResult enumerate_paramount(const Poset& poset,
+                                    const std::vector<Interval>& intervals,
+                                    const ParamountOptions& options,
+                                    StateVisitor visit) {
+  PM_CHECK(options.num_workers > 0);
+  ParamountResult result;
+
+  if (intervals.empty()) {
+    // An empty poset has exactly one consistent state: the empty frontier.
+    visit(poset.empty_frontier());
+    result.states = 1;
+    return result;
+  }
+  if (options.collect_interval_stats) {
+    result.interval_stats.resize(intervals.size());
+  }
+
+  std::atomic<std::uint64_t> total_states{0};
+  std::atomic<std::size_t> next_interval{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const std::size_t chunk = std::max<std::size_t>(options.chunk_size, 1);
+  auto worker = [&] {
+    try {
+      while (true) {
+        const std::size_t begin =
+            next_interval.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= intervals.size()) return;
+        const std::size_t end = std::min(begin + chunk, intervals.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          const Interval& iv = intervals[i];
+          WallTimer timer;
+          std::uint64_t states = 0;
+          // The empty state {0,…,0} belongs to no interval; the paper
+          // assigns it to the first event of →p (Figure 6a).
+          if (i == 0) {
+            visit(poset.empty_frontier());
+            ++states;
+          }
+          const EnumStats stats = enumerate_box(
+              options.subroutine, poset, iv.gmin, iv.gbnd,
+              [&](const Frontier& state) { visit(state); }, options.meter);
+          states += stats.states;
+          total_states.fetch_add(states, std::memory_order_relaxed);
+          if (options.collect_interval_stats) {
+            result.interval_stats[i] =
+                IntervalStat{iv.event, states, timer.elapsed_ns()};
+          }
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> guard(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      // Drain remaining intervals so sibling workers stop quickly.
+      next_interval.store(intervals.size(), std::memory_order_relaxed);
+    }
+  };
+
+  if (options.num_workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(options.num_workers - 1);
+    for (std::size_t w = 1; w < options.num_workers; ++w) {
+      workers.emplace_back(worker);
+    }
+    worker();
+    for (std::thread& w : workers) w.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.states = total_states.load(std::memory_order_relaxed);
+  if (options.meter != nullptr) {
+    result.peak_bytes = options.meter->peak_bytes();
+  }
+  return result;
+}
+
+ParamountResult enumerate_paramount_streaming(
+    const Poset& poset, const std::vector<EventId>& order,
+    const ParamountOptions& options, StateVisitor visit) {
+  PM_CHECK(options.num_workers > 0);
+  PM_CHECK_MSG(is_linear_extension(poset, order),
+               "streaming ParaMount requires a linear extension");
+  ParamountResult result;
+
+  if (order.empty()) {
+    visit(poset.empty_frontier());
+    result.states = 1;
+    return result;
+  }
+  if (options.collect_interval_stats) {
+    result.interval_stats.resize(order.size());
+  }
+
+  std::atomic<std::uint64_t> total_states{0};
+  std::mutex cursor_mutex;
+  std::size_t cursor = 0;
+  Frontier running = poset.empty_frontier();  // guarded by cursor_mutex
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const std::size_t chunk = std::max<std::size_t>(options.chunk_size, 1);
+  struct Claimed {
+    std::size_t index;
+    EventId id;
+    Frontier gbnd;
+  };
+  auto worker = [&] {
+    try {
+      std::vector<Claimed> batch;
+      batch.reserve(chunk);
+      while (true) {
+        batch.clear();
+        {
+          // The paper's atomic block: fetch the next event(s) in →p and
+          // snapshot the boundary frontier after each.
+          std::lock_guard<std::mutex> guard(cursor_mutex);
+          while (cursor < order.size() && batch.size() < chunk) {
+            const std::size_t i = cursor++;
+            const EventId id = order[i];
+            running[id.tid] = id.index;
+            batch.push_back(Claimed{i, id, running});
+          }
+        }
+        if (batch.empty()) return;
+        for (const Claimed& claimed : batch) {
+          const Frontier gmin = poset.vc(claimed.id.tid, claimed.id.index);
+          WallTimer timer;
+          std::uint64_t states = 0;
+          if (claimed.index == 0) {
+            visit(poset.empty_frontier());
+            ++states;
+          }
+          const EnumStats stats = enumerate_box(
+              options.subroutine, poset, gmin, claimed.gbnd,
+              [&](const Frontier& state) { visit(state); }, options.meter);
+          states += stats.states;
+          total_states.fetch_add(states, std::memory_order_relaxed);
+          if (options.collect_interval_stats) {
+            result.interval_stats[claimed.index] =
+                IntervalStat{claimed.id, states, timer.elapsed_ns()};
+          }
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> guard(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      std::lock_guard<std::mutex> cursor_guard(cursor_mutex);
+      cursor = order.size();
+    }
+  };
+
+  if (options.num_workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(options.num_workers - 1);
+    for (std::size_t w = 1; w < options.num_workers; ++w) {
+      workers.emplace_back(worker);
+    }
+    worker();
+    for (std::thread& w : workers) w.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  result.states = total_states.load(std::memory_order_relaxed);
+  if (options.meter != nullptr) {
+    result.peak_bytes = options.meter->peak_bytes();
+  }
+  return result;
+}
+
+}  // namespace paramount

@@ -1,0 +1,75 @@
+// ParaMount: parallel enumeration of all consistent global states
+// (Algorithm 1 of the paper).
+//
+// The driver fixes a linear extension →p, computes the interval I(e) of every
+// event, and lets worker threads pull intervals off a shared counter —
+// exactly the paper's ParaMountWorker, which fetches "the next event in the
+// total order →p". Each interval is enumerated with a *bounded* sequential
+// subroutine (Algorithm 2); because the intervals partition the lattice
+// (Theorem 2), every consistent state is delivered to the visitor exactly
+// once, and total work is that of the sequential subroutine (work-optimal).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interval.hpp"
+#include "enumeration/dispatch.hpp"
+#include "poset/topo_sort.hpp"
+
+namespace paramount {
+
+struct ParamountOptions {
+  std::size_t num_workers = 1;
+  EnumAlgorithm subroutine = EnumAlgorithm::kLexical;
+  TopoPolicy topo_policy = TopoPolicy::kInterleave;
+  std::uint64_t seed = 0;
+  // Events claimed per visit to the shared work queue. 1 reproduces the
+  // paper's Algorithm 1 exactly; larger chunks amortize queue contention at
+  // the cost of coarser load balancing (tail intervals are the big ones).
+  std::size_t chunk_size = 1;
+  // Optional shared memory meter (thread-safe); lets B-Para reproduce the
+  // bounded-memory behaviour of Table 1.
+  MemoryMeter* meter = nullptr;
+  // When true, per-interval state counts and wall times are recorded; used
+  // by the speedup benches to feed the schedule simulator.
+  bool collect_interval_stats = false;
+};
+
+struct IntervalStat {
+  EventId event;
+  std::uint64_t states = 0;
+  std::uint64_t nanos = 0;
+};
+
+struct ParamountResult {
+  std::uint64_t states = 0;
+  std::uint64_t peak_bytes = 0;
+  std::vector<IntervalStat> interval_stats;  // empty unless requested
+};
+
+// Enumerates every consistent global state of `poset` exactly once, calling
+// `visit` from up to `num_workers` threads concurrently. The visitor must be
+// thread-safe. Throws MemoryBudgetExceeded if the meter's budget is crossed
+// by any worker.
+ParamountResult enumerate_paramount(const Poset& poset,
+                                    const ParamountOptions& options,
+                                    StateVisitor visit);
+
+// Variant over a precomputed interval partition (the benches reuse one
+// partition across worker-count sweeps so the →p order is held fixed).
+ParamountResult enumerate_paramount(const Poset& poset,
+                                    const std::vector<Interval>& intervals,
+                                    const ParamountOptions& options,
+                                    StateVisitor visit);
+
+// Streaming variant — the literal Algorithm 1: workers pull the next event
+// of →p from a shared cursor and compute Gbnd incrementally from a running
+// frontier inside the critical section (P.getBoundaryGlobalState()). No
+// interval table is materialized, so the total space is the poset plus the
+// order plus O(n) per worker — the complexity the paper states in §3.4.
+ParamountResult enumerate_paramount_streaming(
+    const Poset& poset, const std::vector<EventId>& order,
+    const ParamountOptions& options, StateVisitor visit);
+
+}  // namespace paramount

@@ -1,0 +1,46 @@
+#include "core/schedule_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace paramount {
+
+double ScheduleResult::imbalance() const {
+  if (worker_busy.empty()) return 1.0;
+  double busiest = 0.0;
+  double total = 0.0;
+  for (double b : worker_busy) {
+    busiest = std::max(busiest, b);
+    total += b;
+  }
+  const double mean = total / static_cast<double>(worker_busy.size());
+  return mean > 0.0 ? busiest / mean : 1.0;
+}
+
+ScheduleResult simulate_list_schedule(const std::vector<double>& task_costs,
+                                      std::size_t num_workers) {
+  PM_CHECK(num_workers > 0);
+  ScheduleResult result;
+  result.worker_busy.assign(num_workers, 0.0);
+
+  // Min-heap of (free_time, worker); lowest id wins ties for determinism.
+  using Slot = std::pair<double, std::size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  for (std::size_t w = 0; w < num_workers; ++w) free_at.emplace(0.0, w);
+
+  for (const double cost : task_costs) {
+    PM_CHECK_MSG(cost >= 0.0, "task costs must be non-negative");
+    auto [start, worker] = free_at.top();
+    free_at.pop();
+    const double finish = start + cost;
+    result.worker_busy[worker] += cost;
+    result.total_work += cost;
+    result.makespan = std::max(result.makespan, finish);
+    free_at.emplace(finish, worker);
+  }
+  return result;
+}
+
+}  // namespace paramount

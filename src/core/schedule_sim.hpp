@@ -1,0 +1,33 @@
+// Deterministic list-scheduling simulator.
+//
+// Algorithm 1's workers pull intervals off a shared queue in →p order, so a
+// run with p workers behaves like greedy list scheduling of the per-interval
+// costs onto p machines. On a host with fewer physical cores than workers the
+// wall clock cannot show the speedup the paper measured on an 8-core i7; the
+// benches therefore measure the per-interval costs once (sequentially) and
+// replay them through this simulator to obtain the p-worker makespan — the
+// time a p-core machine would take, modulo memory-system interference. See
+// DESIGN.md §5 (substitution 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paramount {
+
+struct ScheduleResult {
+  double makespan = 0.0;                // finish time of the last task
+  double total_work = 0.0;              // sum of task costs
+  std::vector<double> worker_busy;      // per-worker busy time
+  // max(worker_busy) / mean(worker_busy): 1.0 = perfectly balanced.
+  double imbalance() const;
+};
+
+// Greedy list scheduling: tasks are assigned in order, each to the worker
+// that becomes free earliest (ties to the lowest worker id). Costs are in
+// arbitrary time units (the benches pass nanoseconds or state counts).
+ScheduleResult simulate_list_schedule(const std::vector<double>& task_costs,
+                                      std::size_t num_workers);
+
+}  // namespace paramount

@@ -1,0 +1,71 @@
+#include "detect/conjunctive.hpp"
+
+namespace paramount {
+
+namespace {
+
+// Advances `index` to the next event of `tid` (at or after `index`) whose
+// local predicate holds. Returns false if the thread is exhausted.
+bool advance_to_satisfying(const Poset& poset, LocalPredicate& predicate,
+                           ThreadId tid, EventIndex& index,
+                           std::uint64_t& examined) {
+  for (; index <= poset.num_events(tid); ++index) {
+    ++examined;
+    if (predicate(tid, index)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ConjunctiveResult detect_conjunctive(const Poset& poset,
+                                     LocalPredicate predicate) {
+  const std::size_t n = poset.num_threads();
+  ConjunctiveResult result;
+  result.cut = Frontier(n);
+
+  // Current candidate (first satisfying event) per thread.
+  std::vector<EventIndex> candidate(n, 1);
+  for (ThreadId t = 0; t < n; ++t) {
+    if (!advance_to_satisfying(poset, predicate, t, candidate[t],
+                               result.events_examined)) {
+      return result;  // no satisfying event on thread t: undetectable
+    }
+  }
+
+  // Elimination loop. The cut (c_1,…,c_n) is consistent iff no candidate's
+  // clock reaches past another thread's candidate: vc(f_j)[i] ≤ c_i for all
+  // i ≠ j. If vc(f_j)[i] > c_i, then f_i can never be the frontier event of
+  // a satisfying consistent cut whose other components are at or beyond the
+  // current candidates (clocks only grow along a thread), so thread i is
+  // forced to its next satisfying event. Every advance is forced, hence the
+  // final cut — when the loop settles — is the least satisfying one.
+  // Note the strict inequality: a dependency landing exactly on c_i is fine;
+  // ordered frontier events can coexist in a consistent cut.
+  while (true) {
+    bool advanced = false;
+    for (ThreadId i = 0; i < n && !advanced; ++i) {
+      for (ThreadId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const VectorClock& vcj = poset.vc(j, candidate[j]);
+        if (vcj[i] > candidate[i]) {
+          candidate[i] = vcj[i];  // skip straight to the forced index
+          if (!advance_to_satisfying(poset, predicate, i, candidate[i],
+                                     result.events_examined)) {
+            return result;  // thread i exhausted: conjunction never holds
+          }
+          advanced = true;
+          break;
+        }
+      }
+    }
+    if (!advanced) break;  // the candidate cut is consistent
+  }
+
+  result.detected = true;
+  for (ThreadId t = 0; t < n; ++t) result.cut[t] = candidate[t];
+  PM_DCHECK(poset.is_consistent(result.cut));
+  return result;
+}
+
+}  // namespace paramount

@@ -1,0 +1,46 @@
+// Weak conjunctive predicate detection (Garg & Waldecker [13]; §6.2 of the
+// paper).
+//
+// For predicates of the form  l_1 ∧ l_2 ∧ … ∧ l_n  where l_i is local to
+// thread i, detection does NOT require enumerating the exponential lattice:
+// there is a consistent global state satisfying the conjunction iff there is
+// a pairwise-concurrent choice of satisfying events, and the least such cut
+// can be found in O(n²·m) by repeatedly discarding any candidate that
+// happened-before another candidate.
+//
+// This module is the specialized counterpoint to ParaMount's general-purpose
+// enumeration: bench_ablation_conjunctive measures the gap (polynomial vs
+// touching every global state), and the detector doubles as an independent
+// oracle in the property tests (its verdict must match a brute-force scan of
+// the enumerated lattice).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "poset/poset.hpp"
+#include "util/function_ref.hpp"
+
+namespace paramount {
+
+// l_i: does the local predicate of thread `tid` hold at event index `index`
+// (1-based)? Threads with no satisfying event make the conjunction
+// undetectable. By convention the predicate is evaluated at events, not at
+// the empty prefix.
+using LocalPredicate = FunctionRef<bool(ThreadId tid, EventIndex index)>;
+
+struct ConjunctiveResult {
+  bool detected = false;
+  // The least consistent cut whose frontier events all satisfy their local
+  // predicates (valid iff detected). Threads are at the listed indices.
+  Frontier cut;
+  // Work performed, for the specialized-vs-general comparison.
+  std::uint64_t events_examined = 0;
+};
+
+// Finds the least consistent global state in which every thread's frontier
+// event satisfies its local predicate, or reports absence.
+ConjunctiveResult detect_conjunctive(const Poset& poset,
+                                     LocalPredicate predicate);
+
+}  // namespace paramount

@@ -1,0 +1,79 @@
+#include "detect/fasttrack.hpp"
+
+namespace paramount {
+
+FastTrackDetector::VarState& FastTrackDetector::state_for(VarId var) {
+  std::lock_guard<std::mutex> guard(map_mutex_);
+  auto& slot = vars_[var];
+  if (slot == nullptr) slot = std::make_unique<VarState>();
+  return *slot;
+}
+
+void FastTrackDetector::on_raw_access(ThreadId tid, VarId var, bool is_write,
+                                      const VectorClock& clock) {
+  VarState& vs = state_for(var);
+  std::lock_guard<std::mutex> guard(vs.mutex);
+
+  const Epoch current{tid, clock[tid]};
+
+  if (is_write) {
+    // WRITE SAME EPOCH fast path.
+    if (vs.write.valid() && vs.write.tid == tid &&
+        vs.write.clk == clock[tid]) {
+      return;
+    }
+    // Write-write race.
+    if (vs.write.valid() && !vs.write.happens_before(clock)) {
+      report_.add(var, EventId{vs.write.tid, vs.write.clk},
+                  EventId{tid, current.clk});
+    }
+    // Read-write race(s).
+    if (vs.read_shared) {
+      for (ThreadId t = 0; t < num_threads_; ++t) {
+        if (t != tid && vs.read_vc[t] > clock[t]) {
+          report_.add(var, EventId{t, vs.read_vc[t]},
+                      EventId{tid, current.clk});
+        }
+      }
+    } else if (vs.read.valid() && vs.read.tid != tid &&
+               !vs.read.happens_before(clock)) {
+      report_.add(var, EventId{vs.read.tid, vs.read.clk},
+                  EventId{tid, current.clk});
+    }
+    // Deflate the read state and record the write epoch (FastTrack's
+    // WRITE EXCLUSIVE / WRITE SHARED transitions).
+    vs.write = current;
+    vs.read = Epoch{};
+    vs.read_shared = false;
+    return;
+  }
+
+  // READ SAME EPOCH fast path.
+  if (!vs.read_shared && vs.read.valid() && vs.read.tid == tid &&
+      vs.read.clk == clock[tid]) {
+    return;
+  }
+  if (vs.read_shared && vs.read_vc[tid] == clock[tid]) return;
+
+  // Write-read race.
+  if (vs.write.valid() && !vs.write.happens_before(clock)) {
+    report_.add(var, EventId{vs.write.tid, vs.write.clk},
+                EventId{tid, current.clk});
+  }
+
+  // Update the read state (READ EXCLUSIVE / READ SHARE / READ SHARED).
+  if (vs.read_shared) {
+    vs.read_vc[tid] = clock[tid];
+  } else if (!vs.read.valid() || vs.read.happens_before(clock)) {
+    vs.read = current;  // still totally ordered: keep the epoch
+  } else {
+    // Two concurrent reads: inflate to a read vector.
+    vs.read_vc = VectorClock(num_threads_);
+    vs.read_vc[vs.read.tid] = vs.read.clk;
+    vs.read_vc[tid] = clock[tid];
+    vs.read = Epoch{};
+    vs.read_shared = true;
+  }
+}
+
+}  // namespace paramount

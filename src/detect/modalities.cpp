@@ -1,0 +1,92 @@
+#include "detect/modalities.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "core/paramount.hpp"
+#include "poset/global_state.hpp"
+
+namespace paramount {
+
+ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
+                               std::size_t num_workers) {
+  ModalityResult result;
+  result.witness = poset.empty_frontier();
+
+  std::atomic<bool> found{false};
+  std::atomic<std::uint64_t> explored{0};
+  std::mutex witness_mutex;
+  Frontier witness = poset.empty_frontier();
+
+  ParamountOptions options;
+  options.num_workers = num_workers;
+  enumerate_paramount(poset, options, [&](const Frontier& state) {
+    // No early-exit hook in the driver: once found, skip the (possibly
+    // expensive) predicate and fall through cheaply.
+    if (found.load(std::memory_order_relaxed)) return;
+    explored.fetch_add(1, std::memory_order_relaxed);
+    if (predicate(state)) {
+      std::lock_guard<std::mutex> guard(witness_mutex);
+      if (!found.exchange(true, std::memory_order_relaxed)) {
+        witness = state;
+      }
+    }
+  });
+
+  result.holds = found.load();
+  result.states_explored = explored.load();
+  if (result.holds) result.witness = witness;
+  return result;
+}
+
+ModalityResult detect_definitely(const Poset& poset,
+                                 StatePredicate predicate) {
+  ModalityResult result;
+  result.witness = poset.empty_frontier();
+
+  // definitely(φ) fails iff a maximal path exists whose every state is ¬φ:
+  // sweep the lattice level by level, keeping only ¬φ states. If the final
+  // state survives, that ¬φ-only path is the counterexample.
+  const Frontier initial = poset.empty_frontier();
+  const Frontier final_state = poset.full_frontier();
+
+  ++result.states_explored;
+  if (predicate(initial)) {
+    result.holds = true;  // every path starts at a φ-state
+    return result;
+  }
+  if (initial == final_state) {
+    result.holds = false;  // the only path is the single ¬φ state
+    result.witness = initial;
+    return result;
+  }
+
+  std::vector<Frontier> level{initial};
+  while (!level.empty()) {
+    std::unordered_set<Frontier, FrontierHash> next_level;
+    for (const Frontier& state : level) {
+      for (ThreadId t = 0; t < poset.num_threads(); ++t) {
+        if (!event_enabled(poset, state, t)) continue;
+        Frontier succ = state;
+        succ[t] += 1;
+        if (next_level.count(succ) != 0) continue;
+        ++result.states_explored;
+        if (predicate(succ)) continue;  // φ-state: paths through it are fine
+        if (succ == final_state) {
+          result.holds = false;  // reached the top avoiding φ entirely
+          result.witness = succ;
+          return result;
+        }
+        next_level.insert(std::move(succ));
+      }
+    }
+    level.assign(next_level.begin(), next_level.end());
+  }
+  // Every ¬φ path dead-ends before the final state: all observations hit φ.
+  result.holds = true;
+  return result;
+}
+
+}  // namespace paramount

@@ -1,0 +1,29 @@
+#include "detect/offline_bfs_detector.hpp"
+
+#include "detect/race_predicate.hpp"
+#include "enumeration/bfs_enumerator.hpp"
+
+namespace paramount {
+
+OfflineDetectionStats detect_races_offline_bfs(const Poset& poset,
+                                               const AccessTable& accesses,
+                                               RaceReport& report,
+                                               std::uint64_t budget_bytes) {
+  OfflineDetectionStats stats;
+  MemoryMeter meter(budget_bytes);
+  try {
+    enumerate_bfs(
+        poset,
+        [&](const Frontier& state) {
+          ++stats.states_enumerated;
+          check_races_all_pairs(poset, accesses, state, report);
+        },
+        &meter);
+  } catch (const MemoryBudgetExceeded&) {
+    stats.out_of_memory = true;
+  }
+  stats.peak_bytes = meter.peak_bytes();
+  return stats;
+}
+
+}  // namespace paramount

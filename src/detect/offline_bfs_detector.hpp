@@ -1,0 +1,32 @@
+// Offline general-purpose predicate detector — the RV-runtime analogue
+// (DESIGN.md §5, substitution 6).
+//
+// Mirrors the configuration Table 2 attributes to RV runtime: a 2-pass
+// offline flow (the trace is recorded first, detection runs afterwards) with
+// the Cooper-Marzullo BFS enumerator over the *whole* lattice and the
+// general Figure-3 predicate over every pair of frontier events. Its
+// exponential level sets are bounded by a MemoryMeter budget so the paper's
+// o.o.m. rows reproduce deterministically.
+#pragma once
+
+#include "detect/race_report.hpp"
+#include "poset/poset.hpp"
+#include "util/mem_meter.hpp"
+
+namespace paramount {
+
+struct OfflineDetectionStats {
+  std::uint64_t states_enumerated = 0;
+  std::uint64_t peak_bytes = 0;
+  bool out_of_memory = false;  // budget exceeded; the report is partial
+};
+
+// Runs BFS enumeration over the recorded poset, checking all frontier pairs
+// of every state; detections accumulate into `report`. `budget_bytes`
+// bounds the enumerator's working set (MemoryMeter::kUnlimited disables the
+// bound).
+OfflineDetectionStats detect_races_offline_bfs(
+    const Poset& poset, const AccessTable& accesses, RaceReport& report,
+    std::uint64_t budget_bytes = MemoryMeter::kUnlimited);
+
+}  // namespace paramount

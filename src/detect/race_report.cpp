@@ -1,0 +1,19 @@
+#include "detect/race_report.hpp"
+
+#include <algorithm>
+
+namespace paramount {
+
+std::vector<RaceFinding> RaceReport::findings() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<RaceFinding> out;
+  out.reserve(races_.size());
+  for (const auto& [var, finding] : races_) out.push_back(finding);
+  std::sort(out.begin(), out.end(),
+            [](const RaceFinding& a, const RaceFinding& b) {
+              return a.var < b.var;
+            });
+  return out;
+}
+
+}  // namespace paramount

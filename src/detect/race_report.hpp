@@ -1,0 +1,49 @@
+// Thread-safe accumulation of detected data races.
+//
+// Detections are reported per variable (the paper's Table 2 counts variables
+// with races); the first witnessing pair of events is kept for diagnostics.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "poset/event.hpp"
+#include "runtime/access.hpp"
+
+namespace paramount {
+
+struct RaceFinding {
+  VarId var = 0;
+  EventId first;   // earlier-reported collection event
+  EventId second;  // the event whose interval exposed the race
+};
+
+class RaceReport {
+ public:
+  // Records a race on `var`; only the first witness per variable is kept.
+  void add(VarId var, EventId first, EventId second) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    races_.try_emplace(var, RaceFinding{var, first, second});
+  }
+
+  bool has(VarId var) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return races_.count(var) != 0;
+  }
+
+  std::size_t num_racy_vars() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return races_.size();
+  }
+
+  // Findings sorted by variable id.
+  std::vector<RaceFinding> findings() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<VarId, RaceFinding> races_;
+};
+
+}  // namespace paramount

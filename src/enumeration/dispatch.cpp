@@ -1,0 +1,17 @@
+#include "enumeration/dispatch.hpp"
+
+namespace paramount {
+
+const char* to_string(EnumAlgorithm algorithm) {
+  switch (algorithm) {
+    case EnumAlgorithm::kBfs:
+      return "bfs";
+    case EnumAlgorithm::kLexical:
+      return "lexical";
+    case EnumAlgorithm::kDfs:
+      return "dfs";
+  }
+  return "?";
+}
+
+}  // namespace paramount

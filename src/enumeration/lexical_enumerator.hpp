@@ -1,0 +1,105 @@
+// Lexical enumeration of consistent global states (Ganter [11], Garg [12]).
+//
+// States are visited in strictly increasing lexicographic order of their
+// frontiers (thread 0 most significant). The algorithm is *stateless*: it
+// keeps only the current frontier, O(n) space, which is why the paper pairs
+// it with ParaMount for the memory-frugal L-Para configuration.
+//
+// Successor computation (one step, O(n²) worst case):
+//   scan k from the least significant thread upward; thread k is viable if
+//   the next event e = e_k[G[k]+1] exists within the bound and all of e's
+//   causal predecessors on more significant threads are already in G;
+//   then increment G[k], reset every less significant component to its
+//   box minimum lo[i], and raise those components to cover the causal
+//   closure of the retained prefix (lines 10-14 of the paper's Algorithm 2).
+//
+// Template over PosetLike so the same code enumerates offline Posets and
+// bounded prefixes of the concurrent OnlinePoset.
+#pragma once
+
+#include "enumeration/enumerator.hpp"
+
+namespace paramount {
+
+// Computes, in place, the lexical successor of `state` within the box
+// [lo, hi]: the lex-least consistent state strictly greater than `state`.
+// Returns false (leaving `state` unspecified) if no such state exists.
+template <typename PosetT>
+bool lexical_successor(const PosetT& poset, const Frontier& lo,
+                       const Frontier& hi, Frontier& state) {
+  const std::size_t n = poset.num_threads();
+  // Try to advance the least significant viable thread. Monotonicity of
+  // vector clocks along a thread means that if e_k[state[k]+1] has an
+  // unsatisfied predecessor on a more significant thread, so does every
+  // later event of thread k — advancing k by exactly one is the only
+  // candidate per thread.
+  for (std::size_t k1 = n; k1-- > 0;) {
+    const ThreadId k = static_cast<ThreadId>(k1);
+    if (state[k] + 1 > hi[k]) continue;
+    const VectorClock& vc = poset.vc(k, state[k] + 1);
+    bool prefix_ok = true;
+    for (ThreadId i = 0; i < k; ++i) {
+      if (vc[i] > state[i]) {
+        prefix_ok = false;
+        break;
+      }
+    }
+    if (!prefix_ok) continue;
+
+    state[k] += 1;
+    // Reset the less significant components to the box floor...
+    for (std::size_t i = k1 + 1; i < n; ++i) state[i] = lo[i];
+    // ...and raise them to the causal closure of the retained prefix. Every
+    // retained event's clock already covers its predecessors' clocks (clocks
+    // are transitively closed), so one pass of joins suffices.
+    for (ThreadId j = 0; j <= k; ++j) {
+      if (state[j] == 0) continue;
+      const VectorClock& jvc = poset.vc(j, state[j]);
+      for (std::size_t i = k1 + 1; i < n; ++i) {
+        if (jvc[i] > state[i]) state[i] = jvc[i];
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+// Enumerates every consistent state G with lo ≤ G ≤ hi exactly once in
+// lexical order. Preconditions: lo and hi are consistent and lo ≤ hi.
+template <typename PosetT>
+EnumStats enumerate_lexical(const PosetT& poset, const Frontier& lo,
+                            const Frontier& hi, StateVisitor visit,
+                            MemoryMeter* meter = nullptr) {
+  PM_CHECK_MSG(lo.leq(hi), "enumerate_lexical: lo must be <= hi");
+  PM_DCHECK(poset.is_consistent(lo));
+  PM_DCHECK(poset.is_consistent(hi));
+
+  EnumStats stats;
+  Frontier state = lo;
+  // The entire working set is the current frontier plus the lo/hi bounds.
+  if (meter != nullptr) meter->charge(3 * sizeof(Frontier));
+  while (true) {
+    visit(state);
+    ++stats.states;
+    if (state == hi) break;
+    const bool advanced = lexical_successor(poset, lo, hi, state);
+    PM_CHECK_MSG(advanced,
+                 "hi is the lex-greatest in-box state; a successor must exist "
+                 "until it is reached");
+  }
+  if (meter != nullptr) {
+    meter->release(3 * sizeof(Frontier));
+    stats.peak_bytes = meter->peak_bytes();
+  }
+  return stats;
+}
+
+// Full-poset convenience (offline Poset only: needs full_frontier()).
+template <typename PosetT>
+EnumStats enumerate_lexical(const PosetT& poset, StateVisitor visit,
+                            MemoryMeter* meter = nullptr) {
+  return enumerate_lexical(poset, poset.empty_frontier(),
+                           poset.full_frontier(), visit, meter);
+}
+
+}  // namespace paramount

@@ -1,0 +1,31 @@
+#include "poset/event.hpp"
+
+namespace paramount {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInternal:
+      return "internal";
+    case OpKind::kSend:
+      return "send";
+    case OpKind::kReceive:
+      return "receive";
+    case OpKind::kAcquire:
+      return "acquire";
+    case OpKind::kRelease:
+      return "release";
+    case OpKind::kFork:
+      return "fork";
+    case OpKind::kJoin:
+      return "join";
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kCollection:
+      return "collection";
+  }
+  return "?";
+}
+
+}  // namespace paramount

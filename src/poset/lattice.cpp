@@ -1,0 +1,66 @@
+#include "poset/lattice.hpp"
+
+#include <unordered_set>
+
+#include "poset/global_state.hpp"
+
+namespace paramount {
+
+namespace {
+
+// Shared BFS sweep. Visits every consistent state exactly once (states of
+// rank k+1 are deduplicated within their level; states of different ranks
+// can never collide), invoking `visit` per state.
+template <typename Visitor>
+bool level_sweep(const Poset& poset, std::uint64_t cap, Visitor&& visit) {
+  std::vector<Frontier> level{poset.empty_frontier()};
+  std::uint64_t seen = 0;
+  while (!level.empty()) {
+    std::unordered_set<Frontier, FrontierHash> next_level;
+    for (const Frontier& state : level) {
+      if (++seen > cap) return false;
+      visit(state);
+      for (Frontier& succ : successors(poset, state)) {
+        next_level.insert(std::move(succ));
+      }
+    }
+    level.assign(next_level.begin(), next_level.end());
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> count_ideals(const Poset& poset,
+                                          std::uint64_t cap) {
+  std::uint64_t count = 0;
+  if (!level_sweep(poset, cap, [&](const Frontier&) { ++count; })) {
+    return std::nullopt;
+  }
+  return count;
+}
+
+std::vector<Frontier> all_ideals(const Poset& poset, std::uint64_t cap) {
+  std::vector<Frontier> out;
+  const bool ok =
+      level_sweep(poset, cap, [&](const Frontier& s) { out.push_back(s); });
+  PM_CHECK_MSG(ok, "all_ideals cap exceeded");
+  return out;
+}
+
+Frontier ideal_join(const Frontier& a, const Frontier& b) {
+  Frontier out = a;
+  out.join(b);
+  return out;
+}
+
+Frontier ideal_meet(const Frontier& a, const Frontier& b) {
+  PM_DCHECK(a.size() == b.size());
+  Frontier out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::min(out[i], b[i]);
+  }
+  return out;
+}
+
+}  // namespace paramount

@@ -1,0 +1,33 @@
+// Reference operations on the lattice of consistent global states.
+//
+// The consistent global states of a poset form a distributive lattice (the
+// lattice of order ideals). These brute-force oracles are used by tests to
+// validate the production enumerators, and by benches to report i(P).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "poset/poset.hpp"
+
+namespace paramount {
+
+// Counts the consistent global states of the poset by a breadth-first sweep
+// with per-level deduplication. Returns nullopt if the count would exceed
+// `cap` (protection for tests on adversarial posets).
+std::optional<std::uint64_t> count_ideals(
+    const Poset& poset, std::uint64_t cap = UINT64_C(100'000'000));
+
+// Materializes every consistent global state (for small posets in tests).
+// Aborts if the count exceeds `cap`.
+std::vector<Frontier> all_ideals(const Poset& poset,
+                                 std::uint64_t cap = UINT64_C(10'000'000));
+
+// Join (union) and meet (intersection) of two consistent states: in the
+// frontier representation these are the componentwise max and min, and both
+// are again consistent (the lattice is distributive).
+Frontier ideal_join(const Frontier& a, const Frontier& b);
+Frontier ideal_meet(const Frontier& a, const Frontier& b);
+
+}  // namespace paramount

@@ -1,0 +1,42 @@
+#include "poset/online_poset.hpp"
+
+namespace paramount {
+
+OnlinePoset::Inserted OnlinePoset::insert(ThreadId tid, OpKind kind,
+                                          std::uint32_t object,
+                                          VectorClock clock) {
+  PM_CHECK(tid < threads_.size());
+  PM_CHECK(clock.size() == num_threads());
+
+  std::lock_guard<std::mutex> guard(insert_mutex_);
+
+  Event e;
+  e.id = EventId{tid, num_events(tid) + 1};
+  e.kind = kind;
+  e.object = object;
+  PM_CHECK_MSG(clock[tid] == e.id.index,
+               "own clock component must equal the event's index");
+  // The clock may only reference already published events (Property 1 is
+  // achieved by insertion order — §4.2).
+  for (ThreadId j = 0; j < num_threads(); ++j) {
+    if (j == tid) continue;
+    PM_CHECK_MSG(clock[j] <= num_events(j),
+                 "clock references an event not yet inserted");
+  }
+  e.vc = clock;
+
+  Inserted result;
+  result.id = e.id;
+  result.gmin = e.vc;
+  result.position = next_position_++;
+  result.first = result.position == 0;
+
+  threads_[tid].events.push_back(std::move(e));
+
+  // Gbnd(e): snapshot of maximal events after inserting e — exactly the
+  // frontier of { f : f = e or f →p e } (Definition 1 via insertion order).
+  result.gbnd = published_frontier();
+  return result;
+}
+
+}  // namespace paramount

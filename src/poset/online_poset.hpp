@@ -1,0 +1,107 @@
+// OnlinePoset: the concurrently growing poset of Algorithm 4.
+//
+// Tracer threads insert events one at a time under an internal mutex (the
+// paper's "atomic block"); the insertion order defines the total order →p.
+// Enumeration workers concurrently read events below their Gbnd snapshot —
+// those events are immutable once published, and the per-thread StableVector
+// storage guarantees stable addresses and release/acquire publication, so the
+// read side is lock-free (Theorem 3: insertion does not interfere with
+// concurrent bounded enumerations).
+//
+// OnlinePoset satisfies the PosetLike read concept used by the enumerators:
+//   num_threads(), num_events(tid), vc(tid, index), event(tid, index),
+//   empty_frontier(), is_consistent(frontier).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "poset/event.hpp"
+#include "poset/vector_clock.hpp"
+#include "util/stable_vector.hpp"
+
+namespace paramount {
+
+class OnlinePoset {
+ public:
+  explicit OnlinePoset(std::size_t num_threads)
+      : threads_(num_threads) {}
+
+  // ---- concurrent read interface (PosetLike) ----
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  EventIndex num_events(ThreadId tid) const {
+    PM_DCHECK(tid < threads_.size());
+    return static_cast<EventIndex>(threads_[tid].events.size());
+  }
+
+  const Event& event(ThreadId tid, EventIndex index) const {
+    PM_DCHECK(tid < threads_.size());
+    PM_DCHECK(index >= 1);
+    return threads_[tid].events[index - 1];
+  }
+
+  const VectorClock& vc(ThreadId tid, EventIndex index) const {
+    return event(tid, index).vc;
+  }
+
+  Frontier empty_frontier() const { return Frontier(num_threads()); }
+
+  // Snapshot of the currently published maximal events of every thread.
+  // Taken outside the insertion lock it is a *plausible* frontier; Gbnd
+  // snapshots taken inside insert() are exact.
+  Frontier published_frontier() const {
+    Frontier f(num_threads());
+    for (ThreadId t = 0; t < num_threads(); ++t) f[t] = num_events(t);
+    return f;
+  }
+
+  bool is_consistent(const Frontier& frontier) const {
+    for (ThreadId t = 0; t < num_threads(); ++t) {
+      if (frontier[t] == 0) continue;
+      if (!vc(t, frontier[t]).leq(frontier)) return false;
+    }
+    return true;
+  }
+
+  std::size_t total_events() const {
+    std::size_t total = 0;
+    for (ThreadId t = 0; t < num_threads(); ++t) total += num_events(t);
+    return total;
+  }
+
+  // ---- insertion (Algorithm 4's atomic block) ----
+
+  struct Inserted {
+    EventId id;
+    Frontier gmin;       // = the event's vector clock
+    Frontier gbnd;       // snapshot of maximal events, including this event
+    std::uint64_t position;  // 0-based position in the total order →p
+    bool first;          // true for the very first event in →p
+  };
+
+  // Inserts an event whose vector clock has already been computed by the
+  // tracing layer (Algorithm 3). The clock's own component must equal the
+  // event's 1-based index on its thread.
+  Inserted insert(ThreadId tid, OpKind kind, std::uint32_t object,
+                  VectorClock clock);
+
+  // Bytes held by the event storage, for the memory benches.
+  std::size_t heap_bytes() const {
+    std::size_t bytes = 0;
+    for (const PerThread& pt : threads_) bytes += pt.events.heap_bytes();
+    return bytes;
+  }
+
+ private:
+  struct PerThread {
+    StableVector<Event> events;
+  };
+
+  std::vector<PerThread> threads_;
+  std::mutex insert_mutex_;
+  std::uint64_t next_position_ = 0;
+};
+
+}  // namespace paramount

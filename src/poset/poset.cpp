@@ -1,0 +1,54 @@
+#include "poset/poset.hpp"
+
+namespace paramount {
+
+bool Poset::is_consistent(const Frontier& frontier) const {
+  PM_DCHECK(frontier.size() == num_threads());
+  for (ThreadId t = 0; t < num_threads(); ++t) {
+    if (frontier[t] == 0) continue;
+    PM_DCHECK(frontier[t] <= num_events(t));
+    if (!vc(t, frontier[t]).leq(frontier)) return false;
+  }
+  return true;
+}
+
+std::size_t Poset::heap_bytes() const {
+  std::size_t bytes = events_.capacity() * sizeof(events_[0]);
+  for (const auto& seq : events_) {
+    bytes += seq.capacity() * sizeof(Event);
+    for (const Event& e : seq) {
+      // Spilled clock storage for wide posets.
+      bytes += e.vc.size() > 16 ? e.vc.size() * sizeof(EventIndex) : 0;
+    }
+  }
+  return bytes;
+}
+
+void Poset::check_invariants() const {
+  const std::size_t n = num_threads();
+  for (ThreadId t = 0; t < n; ++t) {
+    for (EventIndex i = 1; i <= num_events(t); ++i) {
+      const Event& e = event(t, i);
+      PM_CHECK_MSG(e.id.tid == t && e.id.index == i,
+                   "event id does not match its position");
+      PM_CHECK_MSG(e.vc.size() == n, "vector clock width mismatch");
+      PM_CHECK_MSG(e.vc[t] == i,
+                   "own component of the vector clock must equal the index");
+      if (i > 1) {
+        PM_CHECK_MSG(event(t, i - 1).vc.leq(e.vc),
+                     "process order must be reflected in vector clocks");
+      }
+      // Every claimed predecessor must exist and itself be dominated:
+      // vc(e)[j] = k implies vc of e_j[k] ≤ vc(e) (transitive closure).
+      for (ThreadId j = 0; j < n; ++j) {
+        if (j == t || e.vc[j] == 0) continue;
+        PM_CHECK_MSG(e.vc[j] <= num_events(j),
+                     "vector clock points past the end of a thread");
+        PM_CHECK_MSG(vc(j, e.vc[j]).leq(e.vc),
+                     "vector clocks must be transitively closed");
+      }
+    }
+  }
+}
+
+}  // namespace paramount

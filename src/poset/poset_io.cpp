@@ -1,0 +1,90 @@
+#include "poset/poset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "poset/poset_builder.hpp"
+#include "poset/topo_sort.hpp"
+
+namespace paramount {
+
+namespace {
+
+constexpr const char* kMagic = "poset";
+constexpr int kVersion = 1;
+
+OpKind kind_from_int(long value) {
+  PM_CHECK_MSG(value >= 0 && value <= static_cast<long>(OpKind::kCollection),
+               "invalid event kind in poset file");
+  return static_cast<OpKind>(value);
+}
+
+}  // namespace
+
+void write_poset(std::ostream& out, const Poset& poset) {
+  out << kMagic << " v" << kVersion << " " << poset.num_threads() << "\n";
+  // Any linear extension is a valid write order; the interleave sweep keeps
+  // files diff-stable.
+  for (const EventId id :
+       topological_sort(poset, TopoPolicy::kInterleave)) {
+    const Event& e = poset.event(id);
+    out << "event " << e.id.tid << " " << static_cast<int>(e.kind) << " "
+        << e.object;
+    for (std::size_t i = 0; i < e.vc.size(); ++i) out << " " << e.vc[i];
+    out << "\n";
+  }
+}
+
+std::string poset_to_string(const Poset& poset) {
+  std::ostringstream out;
+  write_poset(out, poset);
+  return out.str();
+}
+
+Poset read_poset(std::istream& in) {
+  std::string magic, version;
+  std::size_t num_threads = 0;
+  PM_CHECK_MSG(static_cast<bool>(in >> magic >> version >> num_threads) &&
+                   magic == kMagic && version == "v1",
+               "not a poset v1 file");
+
+  PosetBuilder builder(num_threads);
+  std::string token;
+  while (in >> token) {
+    PM_CHECK_MSG(token == "event", "unexpected token in poset file");
+    ThreadId tid;
+    long kind;
+    std::uint32_t object;
+    PM_CHECK_MSG(static_cast<bool>(in >> tid >> kind >> object),
+                 "truncated event header");
+    PM_CHECK_MSG(tid < num_threads, "event thread id out of range");
+    VectorClock clock(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      PM_CHECK_MSG(static_cast<bool>(in >> clock[i]),
+                   "truncated vector clock");
+    }
+    builder.add_event_with_clock(tid, kind_from_int(kind), object,
+                                 std::move(clock));
+  }
+  return std::move(builder).build();  // validates all clock invariants
+}
+
+Poset poset_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_poset(in);
+}
+
+void save_poset(const std::string& path, const Poset& poset) {
+  std::ofstream out(path);
+  PM_CHECK_MSG(out.good(), "cannot open poset file for writing");
+  write_poset(out, poset);
+  PM_CHECK_MSG(out.good(), "failed writing poset file");
+}
+
+Poset load_poset(const std::string& path) {
+  std::ifstream in(path);
+  PM_CHECK_MSG(in.good(), "cannot open poset file for reading");
+  return read_poset(in);
+}
+
+}  // namespace paramount

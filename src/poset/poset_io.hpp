@@ -1,0 +1,34 @@
+// Text serialization of posets.
+//
+// Captured executions are the experiment artifacts of this system; a stable
+// on-disk format lets benches dump the exact posets they measured and lets
+// users replay traces across machines. The format is line-oriented:
+//
+//   poset v1 <num_threads>
+//   event <tid> <kind> <object> <c0> <c1> ... <c(n-1)>
+//   ...
+//
+// Events appear in a linear extension of happened-before (written in
+// per-thread-sweep order); clocks are validated on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "poset/poset.hpp"
+
+namespace paramount {
+
+void write_poset(std::ostream& out, const Poset& poset);
+std::string poset_to_string(const Poset& poset);
+
+// Parses a poset written by write_poset. Aborts (PM_CHECK) on malformed
+// input or invalid clocks.
+Poset read_poset(std::istream& in);
+Poset poset_from_string(const std::string& text);
+
+// Convenience file wrappers.
+void save_poset(const std::string& path, const Poset& poset);
+Poset load_poset(const std::string& path);
+
+}  // namespace paramount

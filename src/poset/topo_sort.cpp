@@ -1,0 +1,99 @@
+#include "poset/topo_sort.hpp"
+
+#include "util/rng.hpp"
+
+namespace paramount {
+
+namespace {
+
+// The next unemitted event of thread t is enabled once every remote
+// predecessor recorded in its vector clock has been emitted.
+bool next_event_enabled(const Poset& poset, ThreadId t,
+                        const std::vector<EventIndex>& emitted) {
+  const EventIndex next = emitted[t] + 1;
+  if (next > poset.num_events(t)) return false;
+  const VectorClock& vc = poset.vc(t, next);
+  for (ThreadId j = 0; j < poset.num_threads(); ++j) {
+    if (j != t && vc[j] > emitted[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(TopoPolicy policy) {
+  switch (policy) {
+    case TopoPolicy::kInterleave:
+      return "interleave";
+    case TopoPolicy::kThreadMajor:
+      return "thread-major";
+    case TopoPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::vector<EventId> topological_sort(const Poset& poset, TopoPolicy policy,
+                                      std::uint64_t seed) {
+  const std::size_t n = poset.num_threads();
+  const std::size_t total = poset.total_events();
+  std::vector<EventIndex> emitted(n, 0);
+  std::vector<EventId> order;
+  order.reserve(total);
+  Rng rng(seed ^ 0x70706F7274ULL);
+
+  std::vector<ThreadId> enabled;
+  enabled.reserve(n);
+  ThreadId cursor = 0;  // round-robin position for kInterleave
+  while (order.size() < total) {
+    enabled.clear();
+    for (ThreadId t = 0; t < n; ++t) {
+      if (next_event_enabled(poset, t, emitted)) enabled.push_back(t);
+    }
+    PM_CHECK_MSG(!enabled.empty(),
+                 "no enabled event: vector clocks contain a cycle");
+
+    ThreadId pick = enabled.front();
+    switch (policy) {
+      case TopoPolicy::kInterleave: {
+        // First enabled thread at or after the round-robin cursor.
+        pick = enabled.front();
+        for (ThreadId t : enabled) {
+          if (t >= cursor) {
+            pick = t;
+            break;
+          }
+        }
+        cursor = (pick + 1) % n;
+        break;
+      }
+      case TopoPolicy::kThreadMajor:
+        pick = enabled.front();
+        break;
+      case TopoPolicy::kRandom:
+        pick = enabled[rng.next_below(enabled.size())];
+        break;
+    }
+    ++emitted[pick];
+    order.push_back(EventId{pick, emitted[pick]});
+  }
+  return order;
+}
+
+bool is_linear_extension(const Poset& poset,
+                         const std::vector<EventId>& order) {
+  if (order.size() != poset.total_events()) return false;
+  std::vector<EventIndex> emitted(poset.num_threads(), 0);
+  for (const EventId id : order) {
+    if (id.tid >= poset.num_threads()) return false;
+    if (id.index != emitted[id.tid] + 1) return false;  // process order
+    const VectorClock& vc = poset.vc(id.tid, id.index);
+    for (ThreadId j = 0; j < poset.num_threads(); ++j) {
+      if (j != id.tid && vc[j] > emitted[j]) return false;  // remote deps
+    }
+    ++emitted[id.tid];
+  }
+  return true;
+}
+
+}  // namespace paramount

@@ -1,0 +1,15 @@
+#include "poset/vector_clock.hpp"
+
+namespace paramount {
+
+std::string VectorClock::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(components_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace paramount

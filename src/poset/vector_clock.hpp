@@ -1,0 +1,131 @@
+// Vector clocks (Fidge/Mattern) and frontiers of global states.
+//
+// Both concepts are arrays of n small integers indexed by thread:
+//   * a vector clock e.vc has e.vc[i] = index of the latest event of thread i
+//     that happened-before (or is) e — §2.2 of the paper;
+//   * a frontier G has G[i] = index of the maximal event of thread i included
+//     in the global state G (0 = no event) — §2.1 of the paper.
+// The frontier of the least global state containing e *is* e's vector clock
+// (Gmin(e) = e.vc), so the two share one representation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/inlined_vector.hpp"
+
+namespace paramount {
+
+using ThreadId = std::uint32_t;
+// 1-based index of an event within its thread; 0 means "no event yet".
+using EventIndex = std::uint32_t;
+
+class VectorClock {
+ public:
+  // Result of comparing two clocks under the componentwise partial order.
+  enum class Order { kEqual, kLess, kGreater, kConcurrent };
+
+  VectorClock() = default;
+
+  explicit VectorClock(std::size_t num_threads)
+      : components_(num_threads, 0) {}
+
+  VectorClock(std::initializer_list<EventIndex> init) : components_(init) {}
+
+  std::size_t size() const { return components_.size(); }
+
+  EventIndex operator[](std::size_t i) const { return components_[i]; }
+  EventIndex& operator[](std::size_t i) { return components_[i]; }
+
+  // Componentwise maximum with `other` (the happened-before join).
+  void join(const VectorClock& other) {
+    PM_DCHECK(size() == other.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      components_[i] = std::max(components_[i], other.components_[i]);
+    }
+  }
+
+  // True iff this ≤ other componentwise.
+  bool leq(const VectorClock& other) const {
+    PM_DCHECK(size() == other.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      if (components_[i] > other.components_[i]) return false;
+    }
+    return true;
+  }
+
+  static Order compare(const VectorClock& a, const VectorClock& b) {
+    const bool ab = a.leq(b);
+    const bool ba = b.leq(a);
+    if (ab && ba) return Order::kEqual;
+    if (ab) return Order::kLess;
+    if (ba) return Order::kGreater;
+    return Order::kConcurrent;
+  }
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    return a.components_ == b.components_;
+  }
+  friend bool operator!=(const VectorClock& a, const VectorClock& b) {
+    return !(a == b);
+  }
+
+  // Strict total order: lexicographic with thread 0 most significant. This is
+  // the order the lexical enumeration algorithm (§3.2) traverses.
+  static bool lex_less(const VectorClock& a, const VectorClock& b) {
+    PM_DCHECK(a.size() == b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return false;
+  }
+
+  std::uint64_t hash() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ components_.size();
+    for (EventIndex c : components_) {
+      h ^= c + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  std::uint64_t sum() const {
+    std::uint64_t s = 0;
+    for (EventIndex c : components_) s += c;
+    return s;
+  }
+
+  std::string to_string() const;
+
+ private:
+  InlinedVector<EventIndex, 16> components_;
+};
+
+// Algorithm 3 of the paper (calculateVectorClock): computes the clock of a
+// new event of thread `tid` that synchronizes with another timeline (a lock,
+// a forking parent, a joined child). The thread's own component is advanced,
+// the two clocks are joined, and the partner timeline adopts the result so
+// later acquirers inherit the edge. Returns the new event's clock.
+inline VectorClock calculate_vector_clock(ThreadId tid,
+                                          VectorClock& thread_clock,
+                                          VectorClock& partner_clock) {
+  PM_DCHECK(thread_clock.size() == partner_clock.size());
+  PM_DCHECK(tid < thread_clock.size());
+  thread_clock[tid] += 1;       // vci[i] ← vci[i] + 1
+  thread_clock.join(partner_clock);  // vci[k] ← max(vci[k], vcj[k])
+  partner_clock = thread_clock;      // vcj ← vci
+  return thread_clock;
+}
+
+// A frontier identifying a global state: G[i] = number of events of thread i
+// included in G. Structurally identical to a vector clock (see file comment).
+using Frontier = VectorClock;
+
+struct FrontierHash {
+  std::size_t operator()(const Frontier& f) const {
+    return static_cast<std::size_t>(f.hash());
+  }
+};
+
+}  // namespace paramount

@@ -1,0 +1,46 @@
+// RecordingSink: captures a traced execution into an offline Poset.
+//
+// This is the 1-pass capture the enumeration benchmarks use to turn the
+// workload programs (tsp, hedc, elevator, …) into the posets of Table 1.
+// Events are stored in arrival order, which is a valid →p (Property 1 is a
+// delivery guarantee of TraceRuntime), so benches that want the observed
+// online order can reuse recorded_order().
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "poset/poset.hpp"
+#include "poset/poset_builder.hpp"
+#include "runtime/trace_sink.hpp"
+
+namespace paramount {
+
+class RecordingSink final : public TraceSink {
+ public:
+  explicit RecordingSink(std::size_t num_threads)
+      : builder_(num_threads) {}
+
+  void on_event(ThreadId tid, OpKind kind, std::uint32_t object,
+                const VectorClock& clock) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    const EventId id = builder_.add_event_with_clock(tid, kind, object, clock);
+    order_.push_back(id);
+  }
+
+  // The arrival order of events — a linear extension of happened-before.
+  const std::vector<EventId>& recorded_order() const { return order_; }
+
+  std::size_t num_recorded() const { return order_.size(); }
+
+  // Finalizes (validates clocks) and returns the poset. Call once, after the
+  // traced execution finished.
+  Poset build() && { return std::move(builder_).build(); }
+
+ private:
+  std::mutex mutex_;
+  PosetBuilder builder_;
+  std::vector<EventId> order_;
+};
+
+}  // namespace paramount

@@ -1,0 +1,182 @@
+// Cooperative schedule controller for traced programs.
+//
+// §5.3 of the paper: a happened-before-based predictor only sees reorderings
+// consistent with the *observed* poset; a scheduler that re-executes the
+// program under different lock-acquisition orders (RichTest) is the
+// complementary tool that produces new posets. This controller implements
+// that idea for the tracing runtime: at every schedule point (shared-variable
+// access, lock operation, fork/join) exactly one traced thread holds the
+// execution token, and the controller picks the next thread by a seeded
+// policy — so a (program, policy, seed) triple replays the *same* schedule
+// deterministically, and different seeds explore genuinely different posets.
+//
+// Blocking discipline: a thread never sleeps on an OS primitive while
+// holding the token. TracedMutex spins via try_lock + yield_point when a
+// controller is attached, and join/termination paths pause/resume around the
+// real std::thread::join.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "poset/vector_clock.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace paramount {
+
+class ScheduleController {
+ public:
+  enum class Policy {
+    kRoundRobin,  // rotate through runnable threads
+    kRandom,      // uniformly random runnable thread per step
+    kChunked,     // random bursts: keep a thread running for 1-8 steps
+  };
+
+  ScheduleController(std::size_t num_threads, Policy policy,
+                     std::uint64_t seed)
+      : states_(num_threads, State::kInactive),
+        policy_(policy),
+        rng_(seed ^ 0x5C4ED011ULL),
+        current_(kNone) {}
+
+  // The constructing (main) thread enters the schedule holding the token.
+  void start(ThreadId main_tid) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    states_[main_tid] = State::kRunning;
+    current_ = main_tid;
+  }
+
+  // Parent side of a fork: the child becomes schedulable (it will block in
+  // thread_arrived until granted the token).
+  void thread_created(ThreadId child) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    PM_CHECK(states_[child] == State::kInactive);
+    states_[child] = State::kWaiting;
+  }
+
+  // First call on the child thread itself: waits for its first turn.
+  void thread_arrived(ThreadId tid) { wait_for_turn(tid); }
+
+  // A schedule point: hand the token back and wait to be rescheduled.
+  void yield_point(ThreadId tid) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      PM_DCHECK(states_[tid] == State::kRunning);
+      states_[tid] = State::kWaiting;
+      if (current_ == tid) schedule_next_locked();
+    }
+    cv_.notify_all();
+    wait_for_turn(tid);
+  }
+
+  // True once `tid` has left the schedule for good. Used by cooperative
+  // joins: the parent rotates the token until the child is done, and only
+  // then blocks in the (now prompt) OS join — keeping the schedule free of
+  // OS-timing nondeterminism.
+  bool is_done(ThreadId tid) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return states_[tid] == State::kDone;
+  }
+
+  // Leave the schedule before blocking on an OS primitive …
+  void pause(ThreadId tid) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      states_[tid] = State::kPaused;
+      if (current_ == tid) schedule_next_locked();
+    }
+    cv_.notify_all();
+  }
+
+  // … and re-enter afterwards.
+  void resume(ThreadId tid) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      states_[tid] = State::kWaiting;
+      if (current_ == kNone) schedule_next_locked();
+    }
+    cv_.notify_all();
+    wait_for_turn(tid);
+  }
+
+  // Thread leaves the schedule for good.
+  void thread_finished(ThreadId tid) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      states_[tid] = State::kDone;
+      if (current_ == tid) schedule_next_locked();
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kInactive,  // not yet created
+    kWaiting,   // runnable, waiting for the token
+    kRunning,   // holds the token
+    kPaused,    // blocked outside the schedule (e.g. in join)
+    kDone,      // terminated
+  };
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  void wait_for_turn(ThreadId tid) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return current_ == tid; });
+    states_[tid] = State::kRunning;
+  }
+
+  // Picks the next runnable thread under the policy. Called with mutex_
+  // held. If nobody is runnable, the token is parked (current_ = kNone)
+  // until a paused thread resumes.
+  void schedule_next_locked() {
+    if (policy_ == Policy::kChunked && burst_remaining_ > 0 &&
+        current_ != kNone && states_[current_] == State::kWaiting) {
+      --burst_remaining_;
+      // keep the same thread: nothing to do, current_ unchanged
+      return;
+    }
+
+    std::vector<ThreadId> runnable;
+    for (ThreadId t = 0; t < states_.size(); ++t) {
+      if (states_[t] == State::kWaiting) runnable.push_back(t);
+    }
+    if (runnable.empty()) {
+      current_ = kNone;
+      return;
+    }
+    switch (policy_) {
+      case Policy::kRoundRobin: {
+        ThreadId pick = runnable.front();
+        for (ThreadId t : runnable) {
+          if (current_ != kNone && t > current_) {
+            pick = t;
+            break;
+          }
+        }
+        current_ = pick;
+        break;
+      }
+      case Policy::kRandom:
+        current_ = runnable[rng_.next_below(runnable.size())];
+        break;
+      case Policy::kChunked:
+        current_ = runnable[rng_.next_below(runnable.size())];
+        burst_remaining_ = rng_.next_below(8);
+        break;
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<State> states_;
+  Policy policy_;
+  Rng rng_;
+  std::size_t current_;
+  std::uint64_t burst_remaining_ = 0;
+};
+
+}  // namespace paramount

@@ -1,0 +1,61 @@
+// Consumer interface for the event stream produced by the tracing runtime.
+#pragma once
+
+#include "poset/event.hpp"
+#include "poset/vector_clock.hpp"
+#include "runtime/access.hpp"
+
+namespace paramount {
+
+// Sinks receive the recorded events of a traced execution. Guarantees made
+// by TraceRuntime:
+//   * events of one thread arrive in program order;
+//   * if event e happened-before event f (Lamport →), then on_event(e)
+//     returns before on_event(f) is called — the delivery order is a valid
+//     →p for Algorithm 4 (Property 1);
+//   * calls for events of different, concurrent threads may overlap: sinks
+//     synchronize internally.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // A recorded poset event with its fully computed vector clock. For
+  // kCollection events, `object` is the AccessTable index on thread `tid`.
+  virtual void on_event(ThreadId tid, OpKind kind, std::uint32_t object,
+                        const VectorClock& clock) = 0;
+
+  // Every raw shared-variable access, before Figure-9 merging. `clock` is
+  // the accessing thread's current clock. Used by the FastTrack baseline;
+  // default no-op.
+  virtual void on_raw_access(ThreadId tid, VarId var, bool is_write,
+                             const VectorClock& clock) {
+    (void)tid;
+    (void)var;
+    (void)is_write;
+    (void)clock;
+  }
+};
+
+// Fans one trace out to several sinks (e.g. run the ParaMount detector and
+// FastTrack side by side over the same execution).
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void on_event(ThreadId tid, OpKind kind, std::uint32_t object,
+                const VectorClock& clock) override {
+    for (TraceSink* sink : sinks_) sink->on_event(tid, kind, object, clock);
+  }
+
+  void on_raw_access(ThreadId tid, VarId var, bool is_write,
+                     const VectorClock& clock) override {
+    for (TraceSink* sink : sinks_) {
+      sink->on_raw_access(tid, var, is_write, clock);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace paramount

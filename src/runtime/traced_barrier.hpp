@@ -1,0 +1,52 @@
+// Cyclic barrier built from a TracedMutex.
+//
+// The scientific workloads (sor) synchronize phases with a barrier. To keep
+// the trace faithful, the barrier establishes its all-to-all happened-before
+// edges purely through the traced lock: every participant re-acquires the
+// mutex after the generation advances, so its clock joins the last arriver's
+// clock, which in turn joined every earlier arriver's clock at its unlock.
+// The internal counters are ordinary fields protected by the real mutex —
+// they are harness state, not monitored program state, so they carry no
+// traced accesses of their own.
+#pragma once
+
+#include <thread>
+
+#include "runtime/tracer.hpp"
+
+namespace paramount {
+
+class TracedBarrier {
+ public:
+  TracedBarrier(TraceRuntime& runtime, std::size_t parties)
+      : mutex_(runtime, "barrier"), parties_(parties) {
+    PM_CHECK(parties >= 1);
+  }
+
+  void arrive_and_wait() {
+    mutex_.lock();
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      mutex_.unlock();
+      return;
+    }
+    mutex_.unlock();
+    while (true) {
+      mutex_.lock();
+      const bool released = generation_ != my_generation;
+      mutex_.unlock();
+      if (released) return;
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  TracedMutex mutex_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;     // guarded by mutex_
+  std::uint64_t generation_ = 0;  // guarded by mutex_
+};
+
+}  // namespace paramount

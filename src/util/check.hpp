@@ -1,0 +1,43 @@
+// Lightweight assertion macros.
+//
+// PM_CHECK is always on (benchmark harnesses and library internals rely on it
+// for invariant enforcement); PM_DCHECK compiles away in NDEBUG builds and is
+// used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paramount::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "PM_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace paramount::detail
+
+#define PM_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::paramount::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                 \
+  } while (0)
+
+#define PM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::paramount::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define PM_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define PM_DCHECK(expr) PM_CHECK(expr)
+#endif

@@ -1,0 +1,209 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace paramount {
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message,
+                              const std::string& help) {
+  std::fprintf(stderr, "error: %s\n\n%s", message.c_str(), help.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+CliFlags::CliFlags(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+CliFlags& CliFlags::add_int(const std::string& name, std::int64_t default_value,
+                            const std::string& help) {
+  PM_CHECK(!flags_.count(name));
+  Flag f;
+  f.kind = Kind::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_double(const std::string& name, double default_value,
+                               const std::string& help) {
+  PM_CHECK(!flags_.count(name));
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_bool(const std::string& name, bool default_value,
+                             const std::string& help) {
+  PM_CHECK(!flags_.count(name));
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_string(const std::string& name,
+                               const std::string& default_value,
+                               const std::string& help) {
+  PM_CHECK(!flags_.count(name));
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+  return *this;
+}
+
+void CliFlags::set_from_string(Flag& flag, const std::string& name,
+                               const std::string& value) {
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kInt:
+      flag.int_value = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        usage_error("flag --" + name + " expects an integer, got '" + value +
+                        "'",
+                    help());
+      }
+      break;
+    case Kind::kDouble:
+      flag.double_value = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        usage_error("flag --" + name + " expects a number, got '" + value +
+                        "'",
+                    help());
+      }
+      break;
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        usage_error("flag --" + name + " expects true/false, got '" + value +
+                        "'",
+                    help());
+      }
+      break;
+    case Kind::kString:
+      flag.string_value = value;
+      break;
+  }
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      usage_error("unexpected positional argument '" + arg + "'", help());
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+
+    auto it = flags_.find(body);
+    if (it == flags_.end() && body.rfind("no-", 0) == 0) {
+      // --no-flag for booleans.
+      auto neg = flags_.find(body.substr(3));
+      if (neg != flags_.end() && neg->second.kind == Kind::kBool) {
+        if (has_value) {
+          usage_error("--no-" + neg->first + " does not take a value", help());
+        }
+        neg->second.bool_value = false;
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      usage_error("unknown flag '--" + body + "'", help());
+    }
+
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        usage_error("flag --" + body + " requires a value", help());
+      }
+      value = argv[++i];
+    }
+    set_from_string(flag, body, value);
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name,
+                                     Kind kind) const {
+  auto it = flags_.find(name);
+  PM_CHECK_MSG(it != flags_.end(), "flag not registered");
+  PM_CHECK_MSG(it->second.kind == kind, "flag accessed with wrong type");
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return find(name, Kind::kInt).int_value;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return find(name, Kind::kDouble).double_value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).bool_value;
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return find(name, Kind::kString).string_value;
+}
+
+std::string CliFlags::help() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    std::string line = "  --" + name;
+    switch (flag.kind) {
+      case Kind::kInt:
+        line += "=" + std::to_string(flag.int_value);
+        break;
+      case Kind::kDouble:
+        line += "=" + std::to_string(flag.double_value);
+        break;
+      case Kind::kBool:
+        line += flag.bool_value ? "=true" : "=false";
+        break;
+      case Kind::kString:
+        line += "=" + flag.string_value;
+        break;
+    }
+    while (line.size() < 36) line.push_back(' ');
+    out += line + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace paramount

@@ -1,0 +1,63 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Supported syntax: --name=value, --name value, --flag (bool true),
+// --no-flag (bool false). Unknown flags are an error so typos in bench
+// invocations fail loudly instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace paramount {
+
+class CliFlags {
+ public:
+  CliFlags(std::string program_description);
+
+  // Registration: each returns *this for chaining. Default values double as
+  // the documented defaults in --help output.
+  CliFlags& add_int(const std::string& name, std::int64_t default_value,
+                    const std::string& help);
+  CliFlags& add_double(const std::string& name, double default_value,
+                       const std::string& help);
+  CliFlags& add_bool(const std::string& name, bool default_value,
+                     const std::string& help);
+  CliFlags& add_string(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help);
+
+  // Parses argv. Returns false (after printing help) if --help was given;
+  // aborts with a message on malformed input or unknown flags.
+  bool parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  std::string help() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+  void set_from_string(Flag& flag, const std::string& name,
+                       const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace paramount

@@ -1,0 +1,41 @@
+// FunctionRef<Sig>: non-owning, trivially copyable callable reference.
+//
+// The enumerators invoke a visitor once per global state — up to hundreds of
+// millions of calls per run — so the type-erased callable must be as cheap as
+// an indirect call with no allocation (std::function may allocate and is
+// slower to invoke). The referenced callable must outlive the FunctionRef;
+// all uses in this codebase pass stack lambdas downward.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace paramount {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace paramount

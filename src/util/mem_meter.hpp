@@ -1,0 +1,114 @@
+// Byte-level memory accounting for the enumeration algorithms.
+//
+// The paper's Figure 12 compares the memory footprint of the lexical
+// algorithm against L-Para, and Table 1 reports the BFS algorithm running out
+// of a 2 GB heap on several inputs. We reproduce both effects with explicit
+// accounting: each enumerator charges its working-set containers (BFS level
+// sets, frontier copies, interval bookkeeping) against a MemoryMeter, which
+// records the high-water mark and can enforce a budget so the "o.o.m."
+// behaviour is observable deterministically instead of depending on the
+// host's allocator and physical RAM.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace paramount {
+
+// Thrown by budget-enforcing meters; the bench harness reports "o.o.m." for
+// the run, mirroring the paper's Table 1.
+class MemoryBudgetExceeded : public std::runtime_error {
+ public:
+  MemoryBudgetExceeded(std::uint64_t requested_total, std::uint64_t budget)
+      : std::runtime_error("memory budget exceeded"),
+        requested_total_(requested_total),
+        budget_(budget) {}
+
+  std::uint64_t requested_total() const { return requested_total_; }
+  std::uint64_t budget() const { return budget_; }
+
+ private:
+  std::uint64_t requested_total_;
+  std::uint64_t budget_;
+};
+
+// Thread-safe byte counter with a high-water mark and an optional budget.
+class MemoryMeter {
+ public:
+  static constexpr std::uint64_t kUnlimited =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit MemoryMeter(std::uint64_t budget_bytes = kUnlimited)
+      : budget_(budget_bytes) {}
+
+  // Charges `bytes`; throws MemoryBudgetExceeded if the budget would be
+  // crossed (the charge is rolled back so the meter stays consistent).
+  void charge(std::uint64_t bytes) {
+    const std::uint64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (now > budget_) {
+      current_.fetch_sub(bytes, std::memory_order_relaxed);
+      throw MemoryBudgetExceeded(now, budget_);
+    }
+    // Racy max update; the loop keeps peak_ monotone.
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void release(std::uint64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t budget_bytes() const { return budget_; }
+
+  void reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::uint64_t budget_;
+};
+
+// RAII charge: charges on construction, releases on destruction.
+class ScopedCharge {
+ public:
+  ScopedCharge(MemoryMeter& meter, std::uint64_t bytes)
+      : meter_(&meter), bytes_(bytes) {
+    meter_->charge(bytes_);
+  }
+
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  // Adjusts the live charge to a new size (e.g. a container grew).
+  void resize(std::uint64_t new_bytes) {
+    if (new_bytes > bytes_) {
+      meter_->charge(new_bytes - bytes_);
+    } else {
+      meter_->release(bytes_ - new_bytes);
+    }
+    bytes_ = new_bytes;
+  }
+
+  ~ScopedCharge() { meter_->release(bytes_); }
+
+ private:
+  MemoryMeter* meter_;
+  std::uint64_t bytes_;
+};
+
+}  // namespace paramount

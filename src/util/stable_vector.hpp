@@ -1,0 +1,112 @@
+// StableVector<T>: an append-only sequence with stable element addresses and
+// single-writer / multi-reader concurrency.
+//
+// The online poset (Algorithm 4 of the paper) appends events to per-thread
+// sequences while enumeration workers concurrently read earlier elements.
+// std::vector cannot be used: growth relocates elements under the readers.
+// StableVector stores elements in geometrically growing segments that are
+// never moved; the published size is an atomic counter, so a reader that
+// observed size() == k may freely access indices [0, k) with no further
+// synchronization and no locks on the read path.
+//
+// Segment s holds Base * 2^s elements and covers the global index range
+// [Base * (2^s - 1), Base * (2^(s+1) - 1)); 48 segments are enough for any
+// realistic event count.
+//
+// Concurrency contract:
+//   * exactly one thread may call push_back() at a time (external mutual
+//     exclusion — the paper's "atomic block" — is the caller's job);
+//   * any number of threads may call size() and operator[] concurrently with
+//     the writer, provided the index was covered by an observed size().
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace paramount {
+
+template <typename T, std::size_t Base = 64>
+class StableVector {
+  static_assert(Base > 0 && (Base & (Base - 1)) == 0,
+                "Base must be a power of two");
+  static constexpr std::size_t kBaseLog = std::bit_width(Base) - 1;
+  static constexpr std::size_t kMaxSegments = 48;
+
+ public:
+  StableVector() = default;
+
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  ~StableVector() {
+    for (auto& seg : segments_) delete[] seg.load(std::memory_order_relaxed);
+  }
+
+  // Number of elements visible to the calling thread. Acquire order pairs
+  // with the release in push_back so observed elements are fully written.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](std::size_t i) const { return *slot(i); }
+  T& operator[](std::size_t i) { return *slot(i); }
+
+  const T& back() const { return (*this)[size() - 1]; }
+
+  // Appends and returns the index of the new element. Single writer only.
+  std::size_t push_back(T value) {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    const std::size_t s = segment_of(i);
+    // Hard bound (also lets the compiler prove the directory index is in
+    // range): 48 segments cover ~2^53 elements, unreachable in practice.
+    PM_CHECK_MSG(s < kMaxSegments, "StableVector capacity exhausted");
+    if (segments_[s].load(std::memory_order_relaxed) == nullptr) {
+      // Release so a reader that races to this segment through a published
+      // size sees initialized storage.
+      segments_[s].store(new T[segment_capacity(s)],
+                         std::memory_order_release);
+    }
+    *slot(i) = std::move(value);
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+  // Heap bytes owned by allocated segments, for memory accounting.
+  std::size_t heap_bytes() const {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < kMaxSegments; ++s) {
+      if (segments_[s].load(std::memory_order_relaxed) != nullptr) {
+        total += segment_capacity(s) * sizeof(T);
+      }
+    }
+    return total;
+  }
+
+ private:
+  static std::size_t segment_of(std::size_t i) {
+    return std::bit_width(i + Base) - 1 - kBaseLog;
+  }
+  static std::size_t segment_start(std::size_t s) {
+    return Base * ((std::size_t{1} << s) - 1);
+  }
+  static std::size_t segment_capacity(std::size_t s) {
+    return Base << s;
+  }
+
+  T* slot(std::size_t i) const {
+    const std::size_t s = segment_of(i);
+    PM_CHECK_MSG(s < kMaxSegments, "StableVector index out of range");
+    T* seg = segments_[s].load(std::memory_order_acquire);
+    PM_DCHECK(seg != nullptr);
+    return seg + (i - segment_start(s));
+  }
+
+  std::atomic<T*> segments_[kMaxSegments] = {};
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace paramount

@@ -1,0 +1,42 @@
+// Streaming and batch statistics for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paramount {
+
+// Welford's online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance; 0 for count < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample set by linear interpolation; q in [0, 1].
+double percentile(std::vector<double> samples, double q);
+
+// Human-readable formatting helpers shared by the bench tables.
+std::string format_count(std::uint64_t n);          // 12,345,678
+std::string format_si(double v);                    // 12.3M
+std::string format_bytes(std::uint64_t bytes);      // 1.5 MiB
+std::string format_seconds(double seconds);         // 1.234 s / 12.3 ms
+
+}  // namespace paramount

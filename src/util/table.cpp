@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace paramount {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), align_(headers_.size(), Align::kRight) {
+  PM_CHECK(!headers_.empty());
+  align_[0] = Align::kLeft;  // first column is usually a name
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PM_CHECK_MSG(cells.size() <= headers_.size(), "row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+void Table::set_align(std::size_t column, Align align) {
+  PM_CHECK(column < align_.size());
+  align_[column] = align;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::string& out, const std::string& text,
+                       std::size_t c) {
+    const std::size_t pad = width[c] - text.size();
+    if (align_[c] == Align::kRight) out.append(pad, ' ');
+    out += text;
+    if (align_[c] == Align::kLeft) out.append(pad, ' ');
+  };
+
+  auto emit_rule = [&](std::string& out) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out += (c == 0 ? "+" : "+");
+      out.append(width[c] + 2, '-');
+    }
+    out += "+\n";
+  };
+
+  std::string out;
+  emit_rule(out);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += " ";
+    emit_cell(out, headers_[c], c);
+    out += " |";
+  }
+  out += "\n";
+  emit_rule(out);
+  for (const Row& row : rows_) {
+    if (row.separator_before) emit_rule(out);
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out += " ";
+      emit_cell(out, row.cells[c], c);
+      out += " |";
+    }
+    out += "\n";
+  }
+  emit_rule(out);
+  return out;
+}
+
+}  // namespace paramount

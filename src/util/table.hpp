@@ -1,0 +1,41 @@
+// ASCII table renderer used by every bench binary to print paper-style
+// tables (Table 1, Table 2, Figure 10-12 series).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace paramount {
+
+class Table {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; the row may be shorter than the header (padded with "").
+  void add_row(std::vector<std::string> cells);
+
+  // Adds a horizontal separator before the next row.
+  void add_separator();
+
+  void set_align(std::size_t column, Align align);
+
+  std::string render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  std::vector<Align> align_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace paramount

@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace paramount {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  PM_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    PM_CHECK_MSG(!shutting_down_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock,
+                         [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // shutting down
+      return;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+  }
+}
+
+void parallel_for(std::size_t num_threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  PM_CHECK(num_threads > 0);
+  if (count == 0) return;
+  if (num_threads == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto run = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  const std::size_t spawned = std::min(num_threads, count) - 1;
+  threads.reserve(spawned);
+  for (std::size_t t = 0; t < spawned; ++t) threads.emplace_back(run);
+  run();
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace paramount

@@ -1,0 +1,53 @@
+// Fixed-size worker pool with a central task queue.
+//
+// Used by the offline ParaMount driver (workers pull per-event intervals) and
+// by benchmark harnesses. The pool is deliberately simple — a mutex-guarded
+// queue matches the paper's Algorithm 1, where workers fetch the next event
+// in the shared total order →p.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paramount {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task. Tasks must not throw; an escaping exception terminates.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs body(i) for i in [0, count) on `num_threads` transient threads with
+// dynamic (work-queue) scheduling. Convenience for tests and benches that do
+// not want to keep a pool alive.
+void parallel_for(std::size_t num_threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace paramount

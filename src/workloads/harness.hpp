@@ -1,0 +1,113 @@
+// Harness helpers shared by the Table-2 bench, the tests and the examples:
+// run a traced program under a given detector configuration and summarize
+// the outcome.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/fasttrack.hpp"
+#include "detect/offline_bfs_detector.hpp"
+#include "detect/online_detector.hpp"
+#include "poset/poset.hpp"
+#include "runtime/recording_sink.hpp"
+#include "runtime/schedule_controller.hpp"
+#include "workloads/traced_programs.hpp"
+
+namespace paramount {
+
+// Sink that discards everything: used to time the instrumented program with
+// no detector attached (the "Base" column of Table 2 — our base includes the
+// tracing runtime itself, which is the analogue of running the uninjected
+// Java program since our programs cannot run without their wrappers).
+class NullSink final : public TraceSink {
+ public:
+  void on_event(ThreadId, OpKind, std::uint32_t, const VectorClock&) override {
+  }
+};
+
+// Maps a variable name to its field: "node3.next" → "next", "G[2]" → "G",
+// bare names map to themselves. Table 2 counts field-level detections, like
+// the field-granular reports of the Java tools.
+std::string field_of(const std::string& var_name);
+
+// The set of racy fields in a report, given the runtime that named the vars.
+std::set<std::string> racy_fields(const RaceReport& report,
+                                  const TraceRuntime& runtime);
+
+// A recorded execution whose poset, access table and variable names outlive
+// the run (2-pass offline flows and the Table-1 poset captures use this).
+struct RecordedTrace {
+  // Owns the access table and variable names; the trace sink it was
+  // constructed with is already finished and no longer referenced.
+  std::unique_ptr<TraceRuntime> runtime;
+  Poset poset{0};
+  std::vector<EventId> order;  // observed insertion order (a valid →p)
+  double run_seconds = 0.0;
+};
+
+RecordedTrace record_program(const TracedProgramSpec& spec, std::size_t scale,
+                             bool record_sync_events);
+
+// Timed end-to-end runs of each detector over one program execution.
+
+struct BaseRunResult {
+  double seconds = 0.0;
+};
+BaseRunResult run_base(const TracedProgramSpec& spec, std::size_t scale);
+
+struct ParamountRunResult {
+  double seconds = 0.0;
+  std::set<std::string> racy_fields;
+  std::uint64_t states_enumerated = 0;
+  std::size_t events = 0;
+};
+ParamountRunResult run_paramount_detector(
+    const TracedProgramSpec& spec, std::size_t scale,
+    OnlineRaceDetector::Options options = {});
+
+struct FastTrackRunResult {
+  double seconds = 0.0;
+  std::set<std::string> racy_fields;
+};
+FastTrackRunResult run_fasttrack_detector(const TracedProgramSpec& spec,
+                                          std::size_t scale);
+
+struct OfflineBfsRunResult {
+  double seconds = 0.0;  // record + detect (the 2-pass total)
+  std::set<std::string> racy_fields;
+  bool out_of_memory = false;
+  std::uint64_t states_enumerated = 0;
+};
+OfflineBfsRunResult run_offline_bfs_detector(
+    const TracedProgramSpec& spec, std::size_t scale,
+    std::uint64_t budget_bytes = MemoryMeter::kUnlimited);
+
+// ---- controlled schedule exploration (§5.3) ----
+
+// Re-executes the program under `num_schedules` deterministic cooperative
+// schedules (one ScheduleController seed each), running the ParaMount
+// detector online in every execution and unioning the detections — the
+// RichTest-style complement to single-trace prediction.
+struct ExplorationResult {
+  std::set<std::string> racy_fields;  // union across all schedules
+  std::size_t schedules_run = 0;
+  std::size_t distinct_posets = 0;  // how many schedules differed observably
+  std::uint64_t total_states = 0;   // states enumerated across schedules
+};
+ExplorationResult explore_schedules(
+    const TracedProgramSpec& spec, std::size_t scale,
+    std::size_t num_schedules,
+    ScheduleController::Policy policy = ScheduleController::Policy::kChunked,
+    std::uint64_t base_seed = 1);
+
+// Records one execution under a deterministic cooperative schedule.
+RecordedTrace record_program_scheduled(const TracedProgramSpec& spec,
+                                       std::size_t scale,
+                                       bool record_sync_events,
+                                       ScheduleController::Policy policy,
+                                       std::uint64_t seed);
+
+}  // namespace paramount

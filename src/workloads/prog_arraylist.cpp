@@ -1,0 +1,86 @@
+// arraylist1 / arraylist2: a growable list container shared by worker
+// threads.
+//
+// arraylist1 models java.util.ArrayList used without external
+// synchronization: add() performs read-modify-write on three fields (size,
+// modCount and the backing store) with no lock — three racy variables, the
+// count Table 2 reports. arraylist2 wraps the same operations in one mutex
+// (java.util.Vector-style) and is race-free.
+#include "workloads/programs_internal.hpp"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace paramount::programs {
+
+namespace {
+
+struct ArrayList {
+  TracedVar<int> size;
+  TracedVar<int> mod_count;
+  // The backing store is modelled as one variable: element writes land in
+  // cells, but the races of interest (and of the Java original) are on the
+  // shared array *reference*, which grows/reallocates.
+  TracedVar<int> data;
+
+  explicit ArrayList(TraceRuntime& rt)
+      : size(rt, "size", 0), mod_count(rt, "modCount", 0), data(rt, "data", 0) {
+  }
+
+  void add(int value) {
+    const int s = size.load();
+    data.store(value + s);  // elementData[size] = value (+ possible growth)
+    size.store(s + 1);
+    mod_count.store(mod_count.load() + 1);
+  }
+
+  int get() {
+    const int s = size.load();
+    return s > 0 ? data.load() : 0;
+  }
+};
+
+void drive(TraceRuntime& rt, std::size_t scale, bool synchronized) {
+  constexpr std::size_t kWorkers = 3;
+  const std::size_t ops = 4 * scale;
+
+  ArrayList list(rt);
+  TracedMutex list_lock(rt, "list");
+  TracedMutex stats_lock(rt, "stats");
+  TracedVar<int> ops_done(rt, "opsDone", 0);
+
+  std::vector<std::unique_ptr<TracedThread>> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.push_back(std::make_unique<TracedThread>(rt, [&, w] {
+      for (std::size_t i = 0; i < ops; ++i) {
+        if (synchronized) {
+          TracedLockGuard guard(list_lock);
+          list.add(static_cast<int>(w * 100 + i));
+          list.get();
+        } else {
+          // BUG: concurrent unsynchronized container mutation.
+          rt.sched_yield();  // single-core schedule diversification
+          list.add(static_cast<int>(w * 100 + i));
+          list.get();
+        }
+        {
+          // Locked bookkeeping; also delimits the event collections so the
+          // unsynchronized accesses of different iterations become separate
+          // poset events.
+          TracedLockGuard guard(stats_lock);
+          ops_done.store(ops_done.load() + 1);
+        }
+      }
+    }));
+  }
+  for (auto& worker : workers) worker->join();
+}
+
+}  // namespace
+
+void run_arraylist(TraceRuntime& rt, std::size_t scale, bool synchronized) {
+  drive(rt, scale, synchronized);
+}
+
+}  // namespace paramount::programs

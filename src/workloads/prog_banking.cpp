@@ -1,0 +1,56 @@
+// banking: the classic lost-update bug pattern of Farchi/Nir/Ur [8].
+//
+// Tellers move money between accounts. Account 1..k are updated inside the
+// bank lock; the "hot" account 0 is updated with an unsynchronized
+// read-modify-write — the data race a predictive detector must find in any
+// observed schedule.
+#include "workloads/programs_internal.hpp"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace paramount::programs {
+
+void run_banking(TraceRuntime& rt, std::size_t scale) {
+  constexpr std::size_t kTellers = 3;
+  const std::size_t rounds = 4 * scale;
+
+  TracedMutex bank_lock(rt, "bank");
+  TracedVar<long> hot_balance(rt, "hot_balance", 1000);
+  std::vector<std::unique_ptr<TracedVar<long>>> accounts;
+  for (std::size_t a = 0; a < kTellers; ++a) {
+    accounts.push_back(std::make_unique<TracedVar<long>>(
+        rt, "account" + std::to_string(a), 100));
+  }
+
+  {
+    std::vector<std::unique_ptr<TracedThread>> tellers;
+    for (std::size_t t = 0; t < kTellers; ++t) {
+      tellers.push_back(std::make_unique<TracedThread>(rt, [&, t] {
+        for (std::size_t r = 0; r < rounds; ++r) {
+          {
+            // Properly locked transfer between per-teller accounts.
+            TracedLockGuard guard(bank_lock);
+            const long v = accounts[t]->load();
+            accounts[t]->store(v - 10);
+            const long w = accounts[(t + 1) % kTellers]->load();
+            accounts[(t + 1) % kTellers]->store(w + 10);
+          }
+          // BUG: check-then-act on the hot account without the lock.
+          rt.sched_yield();  // single-core schedule diversification
+          const long balance = hot_balance.load();
+          if (balance > 0) hot_balance.store(balance - 1);
+        }
+      }));
+    }
+    for (auto& teller : tellers) teller->join();
+  }
+
+  // Final audit on the main thread (after joins: no race).
+  long total = hot_balance.load();
+  for (auto& account : accounts) total += account->load();
+  (void)total;
+}
+
+}  // namespace paramount::programs

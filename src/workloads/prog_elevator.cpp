@@ -1,0 +1,105 @@
+// elevator: a discrete-event elevator simulator, after the ETH/Plass
+// benchmark used by [5,10,33].
+//
+// A controller thread posts floor calls into a shared Controls object; lift
+// threads claim calls, move floor by floor and update their positions. Every
+// shared field is accessed under the controls lock — the program is
+// race-free (Table 2 reports zero detections; its running time in the paper
+// is dominated by sleep() calls, which we omit).
+#include "workloads/programs_internal.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace paramount::programs {
+
+void run_elevator(TraceRuntime& rt, std::size_t scale) {
+  constexpr std::size_t kLifts = 2;
+  constexpr std::size_t kFloors = 6;
+  const std::size_t num_calls = 4 * scale;
+
+  TracedMutex controls_lock(rt, "controls");
+  std::vector<std::unique_ptr<TracedVar<int>>> calls;  // 0 = none, 1 = waiting
+  for (std::size_t f = 0; f < kFloors; ++f) {
+    calls.push_back(std::make_unique<TracedVar<int>>(
+        rt, "call[" + std::to_string(f) + "]", 0));
+  }
+  std::vector<std::unique_ptr<TracedVar<int>>> positions;
+  for (std::size_t l = 0; l < kLifts; ++l) {
+    positions.push_back(std::make_unique<TracedVar<int>>(
+        rt, "lift" + std::to_string(l) + ".floor", 0));
+  }
+  TracedVar<int> pending(rt, "pendingCalls", 0);
+  TracedVar<int> served(rt, "servedCalls", 0);
+
+  std::vector<std::unique_ptr<TracedThread>> lifts;
+  for (std::size_t l = 0; l < kLifts; ++l) {
+    lifts.push_back(std::make_unique<TracedThread>(rt, [&, l] {
+      while (true) {
+        int target = -1;
+        {
+          TracedLockGuard guard(controls_lock);
+          if (served.load() >= static_cast<int>(num_calls)) break;
+          // Claim the nearest waiting call.
+          const int here = positions[l]->load();
+          int best_dist = kFloors + 1;
+          for (std::size_t f = 0; f < kFloors; ++f) {
+            if (calls[f]->load() == 1) {
+              const int dist =
+                  here > static_cast<int>(f) ? here - static_cast<int>(f)
+                                             : static_cast<int>(f) - here;
+              if (dist < best_dist) {
+                best_dist = dist;
+                target = static_cast<int>(f);
+              }
+            }
+          }
+          if (target >= 0) {
+            calls[target]->store(2);  // claimed
+            pending.store(pending.load() - 1);
+          }
+        }
+        if (target < 0) {
+          rt.sched_yield();
+          continue;
+        }
+        // Move one floor per "tick". The lift's position is lift-local state
+        // (only ever touched by this lift thread), so the movement ticks run
+        // outside the controls lock and concurrently with the other lifts —
+        // like the original simulator, where lifts move between controller
+        // interactions. Completion is reported under the lock.
+        while (true) {
+          const int here = positions[l]->load();
+          if (here == target) break;
+          positions[l]->store(here + (target > here ? 1 : -1));
+          rt.sched_yield();
+        }
+        {
+          TracedLockGuard guard(controls_lock);
+          calls[target]->store(0);
+          served.store(served.load() + 1);
+        }
+      }
+    }));
+  }
+
+  // The controller (main thread) posts calls.
+  std::size_t posted = 0;
+  std::uint64_t prng = 0x5eed;
+  while (posted < num_calls) {
+    TracedLockGuard guard(controls_lock);
+    if (pending.load() < static_cast<int>(kLifts) * 2) {
+      const std::size_t floor = splitmix64(prng) % kFloors;
+      if (calls[floor]->load() == 0) {
+        calls[floor]->store(1);
+        pending.store(pending.load() + 1);
+        ++posted;
+      }
+    }
+  }
+  for (auto& lift : lifts) lift->join();
+}
+
+}  // namespace paramount::programs

@@ -1,0 +1,83 @@
+// moldyn: N-body molecular dynamics, after the Java Grande kernel.
+//
+// Particles are partitioned among worker threads. Each timestep has two
+// barrier-separated phases: force computation (reads every particle's
+// position, accumulates into the worker's own force slots) and integration
+// (updates own positions/velocities). A locked reduction accumulates the
+// potential energy. Properly synchronized — race-free.
+#include "workloads/programs_internal.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "runtime/traced_barrier.hpp"
+
+namespace paramount::programs {
+
+void run_moldyn(TraceRuntime& rt, std::size_t scale) {
+  constexpr std::size_t kWorkers = 3;
+  const std::size_t particles_per_worker = 2;
+  const std::size_t num_particles = kWorkers * particles_per_worker;
+  const std::size_t timesteps = 2 * scale;
+
+  // Positions are shared (read by everyone during force computation,
+  // written only by the owner during integration).
+  std::vector<std::unique_ptr<TracedVar<double>>> position;
+  for (std::size_t p = 0; p < num_particles; ++p) {
+    position.push_back(std::make_unique<TracedVar<double>>(
+        rt, "x[" + std::to_string(p) + "]",
+        static_cast<double>(p) * 0.7 - 1.5));
+  }
+
+  TracedMutex energy_lock(rt, "energyLock");
+  TracedVar<double> potential_energy(rt, "epot", 0.0);
+  TracedBarrier barrier(rt, kWorkers);
+
+  std::vector<std::unique_ptr<TracedThread>> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.push_back(std::make_unique<TracedThread>(rt, [&, w] {
+      const std::size_t first = w * particles_per_worker;
+      std::vector<double> velocity(particles_per_worker, 0.0);
+      std::vector<double> force(particles_per_worker, 0.0);
+
+      for (std::size_t step = 0; step < timesteps; ++step) {
+        // Phase 1: forces — read all positions, write worker-local state.
+        double local_epot = 0.0;
+        for (std::size_t i = 0; i < particles_per_worker; ++i) {
+          force[i] = 0.0;
+          const double xi = position[first + i]->load();
+          for (std::size_t q = 0; q < num_particles; ++q) {
+            if (q == first + i) continue;
+            const double r = position[q]->load() - xi;
+            const double r2 = r * r + 0.25;  // softened Lennard-Jones-ish
+            const double inv6 = 1.0 / (r2 * r2 * r2);
+            force[i] += (r > 0 ? 1.0 : -1.0) * (2.0 * inv6 * inv6 - inv6);
+            local_epot += inv6 * inv6 - inv6;
+          }
+        }
+        {
+          // Locked energy reduction.
+          TracedLockGuard guard(energy_lock);
+          potential_energy.store(potential_energy.load() + local_epot);
+        }
+        // All reads of this step's positions must complete before anyone
+        // integrates.
+        barrier.arrive_and_wait();
+
+        // Phase 2: integrate own particles.
+        for (std::size_t i = 0; i < particles_per_worker; ++i) {
+          velocity[i] += force[i] * 0.01;
+          position[first + i]->store(position[first + i]->load() +
+                                     velocity[i] * 0.01);
+        }
+        // ...and all writes must complete before the next force phase.
+        barrier.arrive_and_wait();
+      }
+    }));
+  }
+  for (auto& worker : workers) worker->join();
+  (void)potential_energy.load();
+}
+
+}  // namespace paramount::programs

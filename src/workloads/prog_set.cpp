@@ -1,0 +1,193 @@
+// set_faulty / set_correct: a concurrent sorted linked-list set with
+// hand-over-hand (lock-coupling) locking, after Herlihy & Shavit [15].
+//
+// Nodes live in a fixed arena; links are node indices stored in TracedVars.
+// The correct variant locks pred and curr while traversing and unlinking.
+// The faulty variant's remove() "helpfully" clears the victim's next field
+// WITHOUT holding the victim's lock — a write-write race with any inserter
+// that currently owns the victim as its predecessor (the bug the paper
+// describes: a thread adding an entry while another removes one).
+//
+// Both variants also exercise the benign-initialization pattern of §5.2:
+// the main thread initializes a batch of spare nodes and publishes them via
+// an untraced ready flag; workers read those fields afterwards. The logical
+// order exists in the program but leaves no happened-before edge in the
+// trace, so FastTrack reports the initialization write while the ParaMount
+// detector's init-write exemption stays silent — Table 2's set(correct) row.
+#include "workloads/programs_internal.hpp"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace paramount::programs {
+
+namespace {
+
+constexpr int kNil = -1;
+
+struct Node {
+  std::unique_ptr<TracedVar<int>> key;
+  std::unique_ptr<TracedVar<int>> next;
+  std::unique_ptr<TracedMutex> lock;
+};
+
+struct ListSet {
+  TraceRuntime& rt;
+  std::vector<Node> arena;
+  std::atomic<int> next_free{0};
+  int head;  // sentinel with key = INT_MIN
+  bool faulty;
+
+  ListSet(TraceRuntime& runtime, std::size_t capacity, bool is_faulty)
+      : rt(runtime), arena(capacity), faulty(is_faulty) {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      arena[i].key = std::make_unique<TracedVar<int>>(
+          rt, "node" + std::to_string(i) + ".key", 0);
+      arena[i].next = std::make_unique<TracedVar<int>>(
+          rt, "node" + std::to_string(i) + ".next", kNil);
+      arena[i].lock = std::make_unique<TracedMutex>(
+          rt, "node" + std::to_string(i) + ".lock");
+    }
+    head = alloc(-2147483647);
+  }
+
+  int alloc(int key) {
+    const int i = next_free.fetch_add(1, std::memory_order_relaxed);
+    PM_CHECK_MSG(static_cast<std::size_t>(i) < arena.size(),
+                 "node arena exhausted");
+    // Initialization writes: performed by the allocating thread before the
+    // node is linked into the list.
+    arena[i].key->store(key);
+    arena[i].next->store(kNil);
+    return i;
+  }
+
+  bool insert(int key) {
+    const int node = alloc(key);
+    // Hand-over-hand traversal from the head sentinel.
+    int pred = head;
+    arena[pred].lock->lock();
+    int curr = arena[pred].next->load();
+    while (curr != kNil) {
+      arena[curr].lock->lock();
+      if (arena[curr].key->load() >= key) break;
+      arena[pred].lock->unlock();
+      pred = curr;
+      curr = arena[curr].next->load();
+    }
+    bool inserted = false;
+    if (curr == kNil || arena[curr].key->load() != key) {
+      arena[node].next->store(curr);
+      arena[pred].next->store(node);
+      inserted = true;
+    }
+    if (curr != kNil) arena[curr].lock->unlock();
+    arena[pred].lock->unlock();
+    return inserted;
+  }
+
+  bool remove(int key) {
+    int pred = head;
+    arena[pred].lock->lock();
+    int curr = arena[pred].next->load();
+    bool locked_curr = false;
+    while (curr != kNil) {
+      if (!faulty) {
+        arena[curr].lock->lock();
+        locked_curr = true;
+      }
+      const int k = arena[curr].key->load();
+      if (k >= key) break;
+      // Hand-over-hand transfer: release pred, keep curr's lock (it becomes
+      // the new pred), and read its next pointer under that lock. The faulty
+      // variant never locked curr, so its traversal reads race by design.
+      arena[pred].lock->unlock();
+      pred = curr;
+      locked_curr = false;  // the lock is now held in the pred role
+      curr = arena[pred].next->load();
+    }
+    bool removed = false;
+    if (curr != kNil && arena[curr].key->load() == key) {
+      // Unlink. In the faulty variant the victim is not locked, so this
+      // read of curr.next and the poisoning write below race with an
+      // inserter that owns curr as its predecessor.
+      arena[pred].next->store(arena[curr].next->load());
+      arena[curr].next->store(kNil);
+      removed = true;
+    }
+    if (locked_curr) arena[curr].lock->unlock();
+    arena[pred].lock->unlock();
+    return removed;
+  }
+
+  bool contains(int key) {
+    int pred = head;
+    arena[pred].lock->lock();
+    int curr = arena[pred].next->load();
+    while (curr != kNil) {
+      arena[curr].lock->lock();
+      const int k = arena[curr].key->load();
+      if (k >= key) {
+        const bool found = k == key;
+        arena[curr].lock->unlock();
+        arena[pred].lock->unlock();
+        return found;
+      }
+      arena[pred].lock->unlock();
+      pred = curr;
+      curr = arena[curr].next->load();
+    }
+    arena[pred].lock->unlock();
+    return false;
+  }
+};
+
+}  // namespace
+
+void run_set(TraceRuntime& rt, std::size_t scale, bool faulty) {
+  constexpr std::size_t kWorkers = 3;
+  const std::size_t ops = 3 * scale;
+  ListSet set(rt, /*capacity=*/16 + kWorkers * ops * 2, faulty);
+
+  // Benign initialization publication (§5.2): after the workers have been
+  // forked, main initializes spare nodes and publishes them through an
+  // untraced flag. Workers read the fields afterwards; the program order is
+  // enforced by the acquire/release spin below, but no *traced*
+  // happened-before edge exists (the flag is not monitored) — the classic
+  // benign pattern FastTrack reports and the init-exempting predicate does
+  // not.
+  std::vector<int> spares(kWorkers, kNil);
+  std::atomic<bool> spares_ready{false};
+
+  {
+    std::vector<std::unique_ptr<TracedThread>> workers;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      workers.push_back(std::make_unique<TracedThread>(rt, [&, w] {
+        while (!spares_ready.load(std::memory_order_acquire)) {
+          rt.sched_yield();
+        }
+        // Benign read of the pre-initialized spare node.
+        (void)set.arena[spares[w]].key->load();
+
+        const int base = static_cast<int>(w) * 100;
+        for (std::size_t i = 0; i < ops; ++i) {
+          set.insert(base + static_cast<int>(i));
+          rt.sched_yield();  // single-core schedule diversification
+          set.insert(50 + static_cast<int>(i));   // contended keys
+          set.contains(50 + static_cast<int>(i));
+          rt.sched_yield();
+          set.remove(50 + static_cast<int>(i));
+        }
+      }));
+    }
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      spares[w] = set.alloc(1000 + static_cast<int>(w));
+    }
+    spares_ready.store(true, std::memory_order_release);
+    for (auto& worker : workers) worker->join();
+  }
+}
+
+}  // namespace paramount::programs

@@ -1,0 +1,135 @@
+// tsp: parallel branch-and-bound travelling-salesman solver, after the
+// benchmark of [5,10,33].
+//
+// Workers expand partial tours from a locked work queue. The global best
+// bound is *read* during pruning without the lock (the benchmark's known
+// race) and updated under the lock when a better tour completes — one racy
+// variable, minTourLen, exactly the single detection Table 2 reports.
+#include "workloads/programs_internal.hpp"
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace paramount::programs {
+
+namespace {
+
+constexpr std::size_t kMaxCities = 10;
+
+struct TspShared {
+  std::size_t num_cities;
+  std::array<std::array<int, kMaxCities>, kMaxCities> dist;  // read-only
+
+  struct Tour {
+    std::array<std::uint8_t, kMaxCities> path;
+    std::uint8_t length = 0;   // cities placed
+    std::uint32_t visited = 0;  // bitmask
+    int cost = 0;
+  };
+
+  // Work queue, guarded by queue_lock.
+  std::deque<Tour> queue;
+};
+
+}  // namespace
+
+void run_tsp(TraceRuntime& rt, std::size_t scale) {
+  constexpr std::size_t kWorkers = 3;
+  const std::size_t num_cities = std::min<std::size_t>(5 + scale, kMaxCities);
+
+  TspShared shared;
+  shared.num_cities = num_cities;
+  Rng rng(0x7517);
+  for (std::size_t i = 0; i < num_cities; ++i) {
+    for (std::size_t j = 0; j < num_cities; ++j) {
+      const int d = static_cast<int>(rng.next_range(5, 40));
+      shared.dist[i][j] = i == j ? 0 : d;
+      shared.dist[j][i] = shared.dist[i][j];
+    }
+  }
+
+  TracedMutex queue_lock(rt, "queue");
+  TracedMutex min_lock(rt, "minLock");
+  TracedVar<int> min_tour_len(rt, "minTourLen", 1 << 28);
+  // Tours in the queue or currently being expanded; accessed only under
+  // queue_lock. Workers terminate when it reaches zero.
+  TracedVar<int> inflight(rt, "inflight", 0);
+
+  // Seed the queue with the root prefix.
+  {
+    TspShared::Tour start;
+    start.path[0] = 0;
+    start.length = 1;
+    start.visited = 1u;
+    shared.queue.push_back(start);
+    inflight.store(1);
+  }
+
+  std::vector<std::unique_ptr<TracedThread>> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.push_back(std::make_unique<TracedThread>(rt, [&] {
+      while (true) {
+        TspShared::Tour tour;
+        bool wait_for_work = false;
+        {
+          TracedLockGuard guard(queue_lock);
+          if (shared.queue.empty()) {
+            if (inflight.load() == 0) break;
+            // Another worker is still expanding; its children may appear.
+            wait_for_work = true;
+          } else {
+            tour = shared.queue.front();
+            shared.queue.pop_front();
+          }
+        }
+        if (wait_for_work) {
+          rt.sched_yield();
+          continue;
+        }
+
+        // Interleave with the sibling workers before touching the shared
+        // bound (single-core schedule diversification; see prog_raytracer).
+        rt.sched_yield();
+        // BUG (from the original benchmark): the pruning bound is read
+        // without holding minLock.
+        const int bound = min_tour_len.load();
+
+        if (tour.cost < bound) {
+          if (tour.length == shared.num_cities) {
+            const int total =
+                tour.cost + shared.dist[tour.path[tour.length - 1]][0];
+            TracedLockGuard guard(min_lock);
+            if (total < min_tour_len.load()) min_tour_len.store(total);
+          } else {
+            // Expand in-queue.
+            TracedLockGuard guard(queue_lock);
+            for (std::size_t c = 1; c < shared.num_cities; ++c) {
+              if (tour.visited & (1u << c)) continue;
+              TspShared::Tour next = tour;
+              next.path[next.length] = static_cast<std::uint8_t>(c);
+              next.visited |= 1u << c;
+              next.cost += shared.dist[tour.path[tour.length - 1]][c];
+              next.length += 1;
+              shared.queue.push_back(next);
+              inflight.store(inflight.load() + 1);
+            }
+          }
+        }
+
+        {
+          // This tour is fully processed.
+          TracedLockGuard guard(queue_lock);
+          inflight.store(inflight.load() - 1);
+        }
+      }
+    }));
+  }
+  for (auto& worker : workers) worker->join();
+  (void)min_tour_len.load();
+}
+
+}  // namespace paramount::programs

@@ -1,0 +1,21 @@
+// Internal: per-program entry points assembled by traced_programs.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/tracer.hpp"
+
+namespace paramount::programs {
+
+void run_banking(TraceRuntime& rt, std::size_t scale);
+void run_set(TraceRuntime& rt, std::size_t scale, bool faulty);
+void run_arraylist(TraceRuntime& rt, std::size_t scale, bool synchronized);
+void run_sor(TraceRuntime& rt, std::size_t scale);
+void run_elevator(TraceRuntime& rt, std::size_t scale);
+void run_tsp(TraceRuntime& rt, std::size_t scale);
+void run_raytracer(TraceRuntime& rt, std::size_t scale);
+void run_hedc(TraceRuntime& rt, std::size_t scale);
+void run_moldyn(TraceRuntime& rt, std::size_t scale);
+void run_montecarlo(TraceRuntime& rt, std::size_t scale);
+
+}  // namespace paramount::programs

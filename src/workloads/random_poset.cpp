@@ -1,0 +1,52 @@
+#include "workloads/random_poset.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "poset/poset_builder.hpp"
+#include "util/rng.hpp"
+
+namespace paramount {
+
+Poset make_random_poset(const RandomPosetParams& params) {
+  PM_CHECK(params.num_processes >= 1);
+  PM_CHECK(params.message_probability >= 0.0 &&
+           params.message_probability <= 1.0);
+
+  PosetBuilder builder(params.num_processes);
+  Rng rng(params.seed ^ 0xD15C0ULL);
+
+  // Pending messages per destination process.
+  std::vector<std::deque<EventId>> channels(params.num_processes);
+
+  for (std::size_t step = 0; step < params.num_events; ++step) {
+    const ThreadId proc =
+        static_cast<ThreadId>(rng.next_below(params.num_processes));
+
+    if (!channels[proc].empty() && rng.next_bool(0.9)) {
+      // Consume a pending message: a receive event with a cross-process
+      // dependency on the send.
+      const EventId send = channels[proc].front();
+      channels[proc].pop_front();
+      builder.add_event_after(proc, send, OpKind::kReceive);
+      continue;
+    }
+
+    if (params.num_processes > 1 &&
+        rng.next_bool(params.message_probability)) {
+      // A send to a random other process.
+      ThreadId dest = static_cast<ThreadId>(
+          rng.next_below(params.num_processes - 1));
+      if (dest >= proc) ++dest;
+      const EventId send = builder.add_event(proc, OpKind::kSend);
+      channels[dest].push_back(send);
+      continue;
+    }
+
+    builder.add_event(proc, OpKind::kInternal);
+  }
+
+  return std::move(builder).build();
+}
+
+}  // namespace paramount

@@ -1,0 +1,28 @@
+// Random distributed computations — the paper's d-300 / d-500 / d-10K
+// inputs: synthetic posets of n processes exchanging messages.
+//
+// Generation model: events are created one global step at a time on a random
+// process. With probability `message_probability` an event is a send that
+// deposits a message for a random other process; a process whose channel has
+// a pending message consumes it with a receive event (creating the
+// happened-before edge send → receive). All other events are internal. The
+// result is a valid poset of a distributed computation whose lattice width —
+// and therefore i(P) — shrinks as messages get denser.
+#pragma once
+
+#include <cstdint>
+
+#include "poset/poset.hpp"
+
+namespace paramount {
+
+struct RandomPosetParams {
+  std::size_t num_processes = 10;
+  std::size_t num_events = 300;
+  double message_probability = 0.4;
+  std::uint64_t seed = 1;
+};
+
+Poset make_random_poset(const RandomPosetParams& params);
+
+}  // namespace paramount

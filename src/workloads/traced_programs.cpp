@@ -1,0 +1,114 @@
+#include "workloads/traced_programs.hpp"
+
+#include "util/check.hpp"
+#include "workloads/programs_internal.hpp"
+
+namespace paramount {
+
+const std::vector<TracedProgramSpec>& traced_programs() {
+  static const std::vector<TracedProgramSpec> registry = [] {
+    std::vector<TracedProgramSpec> list;
+
+    list.push_back({"banking", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_banking(rt, s);
+                    },
+                    {"hot_balance"},
+                    false});
+
+    list.push_back({"set_faulty", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_set(rt, s, /*faulty=*/true);
+                    },
+                    {"next"},  // races land on nodeK.next fields
+                    false});
+
+    list.push_back({"set_correct", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_set(rt, s, /*faulty=*/false);
+                    },
+                    {},
+                    true});
+
+    list.push_back({"arraylist1", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_arraylist(rt, s, /*synchronized=*/false);
+                    },
+                    {"size", "modCount", "data"},
+                    false});
+
+    list.push_back({"arraylist2", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_arraylist(rt, s, /*synchronized=*/true);
+                    },
+                    {},
+                    true});
+
+    list.push_back({"sor", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_sor(rt, s);
+                    },
+                    {},
+                    true});
+
+    list.push_back({"elevator", 3,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_elevator(rt, s);
+                    },
+                    {},
+                    true});
+
+    list.push_back({"tsp", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_tsp(rt, s);
+                    },
+                    {"minTourLen"},
+                    false});
+
+    list.push_back({"raytracer", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_raytracer(rt, s);
+                    },
+                    {"checksum"},
+                    false});
+
+    list.push_back({"hedc", 8,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_hedc(rt, s);
+                    },
+                    {"result.status", "result.size", "result.date",
+                     "result.rating"},
+                    false});
+
+    // Extra JGF-style workloads beyond the paper's Table 2 (marked as such
+    // in the benches): a clean barrier-phased kernel and a task farm with
+    // one racy diagnostic counter.
+    list.push_back({"moldyn", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_moldyn(rt, s);
+                    },
+                    {},
+                    true});
+
+    list.push_back({"montecarlo", 4,
+                    [](TraceRuntime& rt, std::size_t s) {
+                      programs::run_montecarlo(rt, s);
+                    },
+                    {"debugTasks"},
+                    false});
+
+    return list;
+  }();
+  return registry;
+}
+
+const TracedProgramSpec& traced_program(const std::string& name) {
+  for (const TracedProgramSpec& spec : traced_programs()) {
+    if (spec.name == name) return spec;
+  }
+  PM_CHECK_MSG(false, "unknown traced program");
+  static TracedProgramSpec unreachable;
+  return unreachable;
+}
+
+}  // namespace paramount

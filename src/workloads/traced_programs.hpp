@@ -1,0 +1,58 @@
+// Registry of traced benchmark programs (DESIGN.md §5, substitution 2).
+//
+// C++ mini-ports of the paper's Java benchmarks, preserving each program's
+// synchronization structure and known race/no-race status (Table 2):
+//
+//   banking      4 threads  unsynchronized balance updates (bug pattern [8])
+//   set_faulty   4 threads  hand-over-hand linked set; remove() unlinks
+//                           without locking the victim — races on next
+//   set_correct  4 threads  same set, fully locked; only the benign
+//                           initialization write of next is unprotected
+//   arraylist1   4 threads  non-thread-safe growable list — races on
+//                           size / data / modCount
+//   arraylist2   4 threads  the same list behind one mutex — race-free
+//   sor          4 threads  red-black successive over-relaxation with
+//                           barrier phases — race-free
+//   elevator     4 threads  discrete-event elevator simulator, controls
+//                           protected by a lock — race-free
+//   tsp          4 threads  branch-and-bound TSP; the global bound is read
+//                           without the lock — one racy variable
+//   raytracer    4 threads  3D sphere raytracer; per-row work, checksum
+//                           accumulated without the lock — one racy variable
+//   hedc         8 threads  meta-crawler task pool; task/result fields
+//                           written by workers and read by the poller
+//                           without synchronization — four racy variables
+//
+// Every program is an actual multithreaded C++ program executed under the
+// tracing runtime; scale knobs keep the induced lattices laptop-sized.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/tracer.hpp"
+
+namespace paramount {
+
+struct TracedProgramSpec {
+  std::string name;
+  // Threads used by the program, including the constructing main thread.
+  std::size_t num_threads = 0;
+  // Scale factor 1 = the default bench size. Tests use smaller, the
+  // paper-scale bench flags use larger.
+  std::function<void(TraceRuntime&, std::size_t scale)> run;
+  // Ground truth for the default scale: variables that must be reported
+  // racy by a sound predictive detector (names as registered), and whether
+  // the program is entirely race-free.
+  std::vector<std::string> expected_racy_vars;
+  bool race_free = false;
+};
+
+// All registered programs, in the Table-2 row order.
+const std::vector<TracedProgramSpec>& traced_programs();
+
+// Lookup by name; aborts if unknown.
+const TracedProgramSpec& traced_program(const std::string& name);
+
+}  // namespace paramount

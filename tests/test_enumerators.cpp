@@ -1,0 +1,255 @@
+// Correctness of the three sequential enumerators: exactly-once enumeration
+// of all consistent states, agreement with the brute-force lattice oracle,
+// ordering guarantees, bounded (boxed) enumeration, and the memory-budget
+// behaviour.
+#include <gtest/gtest.h>
+
+#include "enumeration/bfs_enumerator.hpp"
+#include "enumeration/dfs_enumerator.hpp"
+#include "enumeration/dispatch.hpp"
+#include "enumeration/lexical_enumerator.hpp"
+#include "poset/lattice.hpp"
+#include "test_helpers.hpp"
+
+namespace paramount {
+namespace {
+
+using testing::all_distinct;
+using testing::as_set;
+using testing::collect_all;
+using testing::collect_box;
+using testing::key_of;
+using testing::make_antichain;
+using testing::make_chain;
+using testing::make_figure2_poset;
+using testing::make_figure4_poset;
+using testing::make_grid;
+using testing::make_random;
+using testing::Key;
+
+constexpr EnumAlgorithm kAll[] = {EnumAlgorithm::kBfs, EnumAlgorithm::kLexical,
+                                  EnumAlgorithm::kDfs};
+
+TEST(Enumerators, EmptyPosetHasOneState) {
+  PosetBuilder builder(3);
+  const Poset poset = std::move(builder).build();
+  for (const auto algorithm : kAll) {
+    const auto states = collect_all(algorithm, poset);
+    ASSERT_EQ(states.size(), 1u) << to_string(algorithm);
+    EXPECT_EQ(states[0], (Key{0, 0, 0}));
+  }
+}
+
+TEST(Enumerators, ChainVisitsEveryPrefix) {
+  const Poset poset = make_chain(5);
+  for (const auto algorithm : kAll) {
+    const auto states = collect_all(algorithm, poset);
+    EXPECT_EQ(states.size(), 6u) << to_string(algorithm);
+    EXPECT_TRUE(all_distinct(states));
+  }
+}
+
+TEST(Enumerators, AntichainVisitsAllSubsets) {
+  const Poset poset = make_antichain(8);
+  for (const auto algorithm : kAll) {
+    const auto states = collect_all(algorithm, poset);
+    EXPECT_EQ(states.size(), 256u) << to_string(algorithm);
+    EXPECT_TRUE(all_distinct(states));
+  }
+}
+
+TEST(Enumerators, Figure4StatesExactly) {
+  // The 7 states of Figure 4(c): all 3×3 frontiers except {2,0} (violates
+  // e2[1] → e1[2]) and {0,2} (violates e1[1] → e2[2]).
+  const Poset poset = make_figure4_poset();
+  const std::set<Key> expected{{0, 0}, {0, 1}, {1, 0}, {1, 1},
+                               {1, 2}, {2, 1}, {2, 2}};
+  for (const auto algorithm : kAll) {
+    const auto states = collect_all(algorithm, poset);
+    EXPECT_TRUE(all_distinct(states)) << to_string(algorithm);
+    EXPECT_EQ(as_set(states), expected) << to_string(algorithm);
+  }
+}
+
+TEST(Enumerators, Figure2StatesExactly) {
+  // The paper's running example: G1..G8 of Figure 2(b).
+  const Poset poset = make_figure2_poset();
+  const std::set<Key> expected{{0, 0}, {1, 0}, {2, 0}, {3, 0},
+                               {2, 1}, {3, 1}, {2, 2}, {3, 2}};
+  for (const auto algorithm : kAll) {
+    EXPECT_EQ(as_set(collect_all(algorithm, poset)), expected)
+        << to_string(algorithm);
+  }
+}
+
+TEST(Enumerators, BfsVisitsInRankOrder) {
+  const Poset poset = make_random(4, 24, 0.4, 7);
+  std::uint64_t last_rank = 0;
+  enumerate_bfs(poset, [&](const Frontier& f) {
+    const std::uint64_t rank = state_rank(f);
+    EXPECT_GE(rank, last_rank);
+    last_rank = rank;
+  });
+}
+
+TEST(Enumerators, LexicalVisitsInStrictLexOrder) {
+  const Poset poset = make_random(4, 24, 0.4, 8);
+  bool first = true;
+  Frontier prev;
+  enumerate_lexical(poset, [&](const Frontier& f) {
+    if (!first) {
+      EXPECT_TRUE(VectorClock::lex_less(prev, f))
+          << prev.to_string() << " !< " << f.to_string();
+    }
+    prev = f;
+    first = false;
+  });
+}
+
+TEST(Enumerators, LexicalSuccessorStandalone) {
+  const Poset poset = make_figure4_poset();
+  const Frontier lo = poset.empty_frontier();
+  const Frontier hi = poset.full_frontier();
+  Frontier state = lo;
+  std::vector<Key> visited{key_of(state)};
+  while (lexical_successor(poset, lo, hi, state)) {
+    visited.push_back(key_of(state));
+  }
+  // The 7 consistent states of Figure 4(c) in lexical order — the
+  // inconsistent {0,2} and {2,0} are skipped.
+  const std::vector<Key> expected{{0, 0}, {0, 1}, {1, 0}, {1, 1},
+                                  {1, 2}, {2, 1}, {2, 2}};
+  EXPECT_EQ(visited, expected);
+}
+
+// Property test: on random posets all three algorithms agree with the
+// brute-force oracle and visit each state exactly once.
+class EnumeratorAgreement
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {
+};
+
+TEST_P(EnumeratorAgreement, AllAlgorithmsMatchOracle) {
+  const auto [processes, density, seed] = GetParam();
+  const Poset poset = make_random(processes, 8 * processes, density, seed);
+  std::set<Key> oracle;
+  for (const Frontier& f : all_ideals(poset)) oracle.insert(key_of(f));
+
+  for (const auto algorithm : kAll) {
+    const auto states = collect_all(algorithm, poset);
+    EXPECT_TRUE(all_distinct(states))
+        << to_string(algorithm) << " visited a state twice";
+    EXPECT_EQ(as_set(states), oracle) << to_string(algorithm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPosets, EnumeratorAgreement,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(0.15, 0.5, 0.9),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+// Property test: bounded enumeration over random boxes visits exactly the
+// consistent states inside the box.
+class BoundedEnumeration
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(BoundedEnumeration, BoxMatchesFilteredOracle) {
+  const auto [seed, density_pct] = GetParam();
+  const Poset poset =
+      make_random(4, 28, static_cast<double>(density_pct) / 100.0, seed);
+  const auto ideals = all_ideals(poset);
+
+  // Build several boxes from pairs of comparable consistent states.
+  std::size_t boxes_tested = 0;
+  for (std::size_t i = 0; i < ideals.size() && boxes_tested < 12; i += 3) {
+    for (std::size_t j = i; j < ideals.size() && boxes_tested < 12; j += 5) {
+      const Frontier& lo = ideals[i];
+      const Frontier& hi = ideals[j];
+      if (!lo.leq(hi)) continue;
+      ++boxes_tested;
+
+      std::set<Key> expected;
+      for (const Frontier& f : ideals) {
+        if (lo.leq(f) && f.leq(hi)) expected.insert(key_of(f));
+      }
+      for (const auto algorithm : kAll) {
+        const auto states = collect_box(algorithm, poset, lo, hi);
+        EXPECT_TRUE(all_distinct(states)) << to_string(algorithm);
+        EXPECT_EQ(as_set(states), expected)
+            << to_string(algorithm) << " box " << lo.to_string() << ".."
+            << hi.to_string();
+      }
+    }
+  }
+  EXPECT_GT(boxes_tested, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBoxes, BoundedEnumeration,
+                         ::testing::Combine(::testing::Values(11u, 12u, 13u,
+                                                              14u),
+                                            ::testing::Values(20, 60)));
+
+TEST(Enumerators, LexicalEqualsSortedLattice) {
+  // Stronger than pairwise monotonicity: the lexical visit sequence is
+  // exactly the sorted list of all consistent states.
+  const Poset poset = make_random(4, 26, 0.4, 19);
+  const auto states = collect_all(EnumAlgorithm::kLexical, poset);
+  auto sorted = states;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(states, sorted);
+}
+
+TEST(Enumerators, DegenerateBoxVisitsSingleState) {
+  const Poset poset = make_figure4_poset();
+  const Frontier g{1, 1};
+  for (const auto algorithm : kAll) {
+    const auto states = collect_box(algorithm, poset, g, g);
+    ASSERT_EQ(states.size(), 1u);
+    EXPECT_EQ(states[0], (Key{1, 1}));
+  }
+}
+
+TEST(Enumerators, BfsMemoryBudgetTriggersOom) {
+  const Poset poset = make_antichain(12);  // 4096 states, wide levels
+  MemoryMeter meter(/*budget=*/2048);
+  EXPECT_THROW(enumerate_bfs(poset, [](const Frontier&) {}, &meter),
+               MemoryBudgetExceeded);
+  // All charges must have been rolled back.
+  EXPECT_EQ(meter.current_bytes(), 0u);
+}
+
+TEST(Enumerators, LexicalUsesConstantMemory) {
+  const Poset poset = make_antichain(12);
+  MemoryMeter meter;
+  const EnumStats stats =
+      enumerate_lexical(poset, [](const Frontier&) {}, &meter);
+  EXPECT_EQ(stats.states, 4096u);
+  EXPECT_LT(stats.peak_bytes, 1024u);  // O(n), not O(width)
+}
+
+TEST(Enumerators, BfsPeakMemoryTracksLatticeWidth) {
+  MemoryMeter narrow_meter, wide_meter;
+  enumerate_bfs(make_chain(64), [](const Frontier&) {}, &narrow_meter);
+  enumerate_bfs(make_antichain(12), [](const Frontier&) {}, &wide_meter);
+  // A chain has width 1; a 12-antichain has width C(12,6) = 924.
+  EXPECT_GT(wide_meter.peak_bytes(), 100 * narrow_meter.peak_bytes());
+}
+
+TEST(Enumerators, StatsCountMatchesOracle) {
+  const Poset poset = make_random(4, 30, 0.5, 21);
+  const auto expected = count_ideals(poset).value();
+  for (const auto algorithm : kAll) {
+    const EnumStats stats =
+        enumerate_all(algorithm, poset, [](const Frontier&) {});
+    EXPECT_EQ(stats.states, expected) << to_string(algorithm);
+  }
+}
+
+TEST(Enumerators, DispatchNamesAlgorithms) {
+  EXPECT_STREQ(to_string(EnumAlgorithm::kBfs), "bfs");
+  EXPECT_STREQ(to_string(EnumAlgorithm::kLexical), "lexical");
+  EXPECT_STREQ(to_string(EnumAlgorithm::kDfs), "dfs");
+}
+
+}  // namespace
+}  // namespace paramount

@@ -1,0 +1,116 @@
+// End-to-end integration: trace a real concurrent program, capture its
+// poset, and cross-check every enumeration configuration plus the schedule
+// simulator on it — the full pipeline each bench binary exercises.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "core/paramount.hpp"
+#include "core/schedule_sim.hpp"
+#include "poset/lattice.hpp"
+#include "test_helpers.hpp"
+#include "workloads/harness.hpp"
+
+namespace paramount {
+namespace {
+
+using testing::all_distinct;
+using testing::as_set;
+using testing::key_of;
+using testing::Key;
+
+TEST(Integration, RecordedProgramPosetEnumeratesConsistently) {
+  const RecordedTrace trace =
+      record_program(traced_program("banking"), /*scale=*/1,
+                     /*record_sync_events=*/true);
+  trace.poset.check_invariants();
+  ASSERT_GT(trace.poset.total_events(), 0u);
+  EXPECT_TRUE(is_linear_extension(trace.poset, trace.order));
+
+  const auto expected = count_ideals(trace.poset, UINT64_C(5'000'000));
+  ASSERT_TRUE(expected.has_value()) << "poset too large for the oracle";
+
+  // Sequential enumerators agree.
+  for (const auto algorithm :
+       {EnumAlgorithm::kBfs, EnumAlgorithm::kLexical, EnumAlgorithm::kDfs}) {
+    const EnumStats stats =
+        enumerate_all(algorithm, trace.poset, [](const Frontier&) {});
+    EXPECT_EQ(stats.states, *expected) << to_string(algorithm);
+  }
+
+  // ParaMount agrees for several worker counts, using the *observed* online
+  // order as →p (exactly what the online detector does).
+  const auto intervals = compute_intervals(trace.poset, trace.order);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ParamountOptions options;
+    options.num_workers = workers;
+    std::mutex mutex;
+    std::vector<Key> states;
+    const ParamountResult result = enumerate_paramount(
+        trace.poset, intervals, options, [&](const Frontier& f) {
+          std::lock_guard<std::mutex> guard(mutex);
+          states.push_back(key_of(f));
+        });
+    EXPECT_EQ(result.states, *expected);
+    EXPECT_TRUE(all_distinct(states));
+  }
+}
+
+TEST(Integration, IntervalStatsFeedScheduleSimulator) {
+  const Poset poset = testing::make_random(6, 80, 0.35, 42);
+  ParamountOptions options;
+  options.collect_interval_stats = true;
+  const ParamountResult result =
+      enumerate_paramount(poset, options, [](const Frontier&) {});
+
+  std::vector<double> costs;
+  for (const IntervalStat& s : result.interval_stats) {
+    costs.push_back(static_cast<double>(s.states));
+  }
+  const auto t1 = simulate_list_schedule(costs, 1);
+  const auto t8 = simulate_list_schedule(costs, 8);
+  EXPECT_DOUBLE_EQ(t1.makespan, static_cast<double>(result.states));
+  EXPECT_LE(t8.makespan, t1.makespan);
+  // Speedup is bounded by 8 and by total/max-task.
+  const double speedup = t1.makespan / t8.makespan;
+  EXPECT_LE(speedup, 8.0 + 1e-9);
+  EXPECT_GE(speedup, 1.0);
+}
+
+TEST(Integration, OnlineAndOfflineSeeTheSamePoset) {
+  // Record the same deterministic workload twice: once offline, once through
+  // the online detector; the enumerated state count must match the offline
+  // lattice size (the programs are deterministic in event structure only on
+  // race-free workloads, so use sor).
+  const TracedProgramSpec& spec = traced_program("sor");
+  const RecordedTrace trace = record_program(spec, 1, false);
+  const auto expected = count_ideals(trace.poset, UINT64_C(5'000'000));
+  ASSERT_TRUE(expected.has_value());
+
+  const auto online = run_paramount_detector(spec, 1);
+  EXPECT_EQ(online.states_enumerated, *expected);
+  EXPECT_EQ(online.events, trace.poset.total_events());
+}
+
+TEST(Integration, AllTracedProgramsProduceValidPosets) {
+  for (const TracedProgramSpec& spec : traced_programs()) {
+    const RecordedTrace trace = record_program(spec, 1, false);
+    trace.poset.check_invariants();
+    EXPECT_TRUE(is_linear_extension(trace.poset, trace.order)) << spec.name;
+    EXPECT_GT(trace.poset.total_events(), 0u) << spec.name;
+    EXPECT_LE(trace.poset.num_threads(), spec.num_threads) << spec.name;
+  }
+}
+
+TEST(Integration, AllTracedProgramsEnumerableAtTestScale) {
+  // Guard against lattice blow-ups that would make the benches unusable.
+  for (const TracedProgramSpec& spec : traced_programs()) {
+    const RecordedTrace trace = record_program(spec, 1, false);
+    const auto count = count_ideals(trace.poset, UINT64_C(20'000'000));
+    EXPECT_TRUE(count.has_value())
+        << spec.name << " lattice larger than 20M states at scale 1";
+  }
+}
+
+}  // namespace
+}  // namespace paramount

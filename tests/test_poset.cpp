@@ -1,0 +1,114 @@
+#include "poset/poset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "poset/poset_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace paramount {
+namespace {
+
+using testing::make_chain;
+using testing::make_figure4_poset;
+using testing::make_grid;
+using testing::make_random;
+
+TEST(PosetBuilder, ProcessOrderClocks) {
+  PosetBuilder builder(2);
+  builder.add_event(0);
+  builder.add_event(0);
+  const Poset poset = std::move(builder).build();
+  EXPECT_EQ(poset.vc(0, 1), (VectorClock{1, 0}));
+  EXPECT_EQ(poset.vc(0, 2), (VectorClock{2, 0}));
+}
+
+TEST(PosetBuilder, RemoteDependencyJoinsClocks) {
+  // Reconstructs Figure 4(d): e1[2].vc = [2,1], e2[1].vc = [0,1].
+  const Poset poset = make_figure4_poset();
+  EXPECT_EQ(poset.vc(0, 1), (VectorClock{1, 0}));
+  EXPECT_EQ(poset.vc(1, 1), (VectorClock{0, 1}));
+  EXPECT_EQ(poset.vc(0, 2), (VectorClock{2, 1}));
+  EXPECT_EQ(poset.vc(1, 2), (VectorClock{1, 2}));
+}
+
+TEST(PosetBuilder, ExplicitClockValidated) {
+  PosetBuilder builder(2);
+  builder.add_event_with_clock(0, OpKind::kInternal, 0, VectorClock{1, 0});
+  builder.add_event_with_clock(1, OpKind::kInternal, 0, VectorClock{1, 1});
+  const Poset poset = std::move(builder).build();
+  EXPECT_TRUE(poset.happened_before(EventId{0, 1}, EventId{1, 1}));
+}
+
+TEST(Poset, CountsEventsPerThread) {
+  const Poset poset = make_grid(3, 5);
+  EXPECT_EQ(poset.num_threads(), 2u);
+  EXPECT_EQ(poset.num_events(0), 3u);
+  EXPECT_EQ(poset.num_events(1), 5u);
+  EXPECT_EQ(poset.total_events(), 8u);
+}
+
+TEST(Poset, HappenedBeforeWithinThread) {
+  const Poset poset = make_chain(3);
+  EXPECT_TRUE(poset.happened_before(EventId{0, 1}, EventId{0, 3}));
+  EXPECT_FALSE(poset.happened_before(EventId{0, 3}, EventId{0, 1}));
+  EXPECT_FALSE(poset.happened_before(EventId{0, 2}, EventId{0, 2}));
+}
+
+TEST(Poset, HappenedBeforeAcrossThreads) {
+  const Poset poset = make_figure4_poset();
+  EXPECT_TRUE(poset.happened_before(EventId{1, 1}, EventId{0, 2}));
+  EXPECT_FALSE(poset.happened_before(EventId{0, 2}, EventId{1, 1}));
+}
+
+TEST(Poset, ConcurrentEvents) {
+  const Poset poset = make_figure4_poset();
+  EXPECT_TRUE(poset.concurrent(EventId{0, 1}, EventId{1, 1}));
+  EXPECT_TRUE(poset.concurrent(EventId{0, 2}, EventId{1, 2}));
+  EXPECT_FALSE(poset.concurrent(EventId{1, 1}, EventId{0, 2}));
+  EXPECT_FALSE(poset.concurrent(EventId{0, 1}, EventId{0, 1}));
+}
+
+TEST(Poset, FrontiersAndConsistency) {
+  const Poset poset = make_figure4_poset();
+  EXPECT_EQ(poset.full_frontier(), (Frontier{2, 2}));
+  EXPECT_EQ(poset.empty_frontier(), (Frontier{0, 0}));
+  // Figure 4: G1 = {1,0} and G2 = {1,2} consistent, G3 = {2,0} not
+  // (e2[1] → e1[2] but e2[1] ∉ G3).
+  EXPECT_TRUE(poset.is_consistent(Frontier{1, 0}));
+  EXPECT_TRUE(poset.is_consistent(Frontier{1, 2}));
+  EXPECT_FALSE(poset.is_consistent(Frontier{2, 0}));
+  EXPECT_TRUE(poset.is_consistent(poset.empty_frontier()));
+  EXPECT_TRUE(poset.is_consistent(poset.full_frontier()));
+}
+
+TEST(Poset, InvariantsHoldOnRandomPosets) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Poset poset = make_random(5, 60, 0.4, seed);
+    poset.check_invariants();  // aborts on violation
+    EXPECT_EQ(poset.total_events(), 60u);
+  }
+}
+
+TEST(Poset, EventAccessorsRoundTrip) {
+  const Poset poset = make_figure4_poset();
+  const Event& e = poset.event(EventId{0, 2});
+  EXPECT_EQ(e.id.tid, 0u);
+  EXPECT_EQ(e.id.index, 2u);
+  EXPECT_EQ(e.vc, poset.vc(0, 2));
+}
+
+TEST(EventId, PackedAndToString) {
+  const EventId id{3, 7};
+  EXPECT_EQ(id.packed(), (std::uint64_t{3} << 32) | 7u);
+  EXPECT_EQ(id.to_string(), "e3[7]");
+  EXPECT_EQ(id, (EventId{3, 7}));
+  EXPECT_NE(id, (EventId{3, 8}));
+}
+
+TEST(OpKind, Names) {
+  EXPECT_STREQ(to_string(OpKind::kAcquire), "acquire");
+  EXPECT_STREQ(to_string(OpKind::kCollection), "collection");
+}
+
+}  // namespace
+}  // namespace paramount

@@ -1,0 +1,102 @@
+#include "poset/poset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "poset/lattice.hpp"
+#include "test_helpers.hpp"
+
+namespace paramount {
+namespace {
+
+using testing::make_figure4_poset;
+using testing::make_random;
+
+void expect_posets_equal(const Poset& a, const Poset& b) {
+  ASSERT_EQ(a.num_threads(), b.num_threads());
+  for (ThreadId t = 0; t < a.num_threads(); ++t) {
+    ASSERT_EQ(a.num_events(t), b.num_events(t));
+    for (EventIndex i = 1; i <= a.num_events(t); ++i) {
+      EXPECT_EQ(a.event(t, i).kind, b.event(t, i).kind);
+      EXPECT_EQ(a.event(t, i).object, b.event(t, i).object);
+      EXPECT_EQ(a.vc(t, i), b.vc(t, i));
+    }
+  }
+}
+
+TEST(PosetIo, RoundTripFigure4) {
+  const Poset original = make_figure4_poset();
+  const Poset reloaded = poset_from_string(poset_to_string(original));
+  expect_posets_equal(original, reloaded);
+}
+
+TEST(PosetIo, RoundTripRandomPosets) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Poset original = make_random(5, 50, 0.5, seed);
+    const Poset reloaded = poset_from_string(poset_to_string(original));
+    expect_posets_equal(original, reloaded);
+    EXPECT_EQ(count_ideals(original), count_ideals(reloaded));
+  }
+}
+
+TEST(PosetIo, RoundTripEmptyPoset) {
+  PosetBuilder builder(3);
+  const Poset original = std::move(builder).build();
+  const Poset reloaded = poset_from_string(poset_to_string(original));
+  EXPECT_EQ(reloaded.num_threads(), 3u);
+  EXPECT_EQ(reloaded.total_events(), 0u);
+}
+
+TEST(PosetIo, FormatIsStable) {
+  const std::string text = poset_to_string(make_figure4_poset());
+  EXPECT_EQ(text,
+            "poset v1 2\n"
+            "event 0 0 0 1 0\n"
+            "event 1 0 0 0 1\n"
+            "event 0 0 0 2 1\n"
+            "event 1 0 0 1 2\n");
+}
+
+TEST(PosetIo, PreservesKindsAndObjects) {
+  PosetBuilder builder(2);
+  builder.add_event(0, OpKind::kAcquire, {}, 42);
+  builder.add_event(1, OpKind::kCollection, {}, 7);
+  const Poset reloaded =
+      poset_from_string(poset_to_string(std::move(builder).build()));
+  EXPECT_EQ(reloaded.event(0, 1).kind, OpKind::kAcquire);
+  EXPECT_EQ(reloaded.event(0, 1).object, 42u);
+  EXPECT_EQ(reloaded.event(1, 1).kind, OpKind::kCollection);
+  EXPECT_EQ(reloaded.event(1, 1).object, 7u);
+}
+
+TEST(PosetIo, RejectsGarbage) {
+  EXPECT_DEATH(poset_from_string("not a poset"), "not a poset v1 file");
+}
+
+TEST(PosetIo, RejectsBadThreadId) {
+  EXPECT_DEATH(poset_from_string("poset v1 2\nevent 5 0 0 1 0\n"),
+               "out of range");
+}
+
+TEST(PosetIo, RejectsTruncatedClock) {
+  EXPECT_DEATH(poset_from_string("poset v1 2\nevent 0 0 0 1\n"),
+               "truncated");
+}
+
+TEST(PosetIo, RejectsInconsistentClocks) {
+  // Clock claims a dependency on an event that does not exist yet.
+  EXPECT_DEATH(poset_from_string("poset v1 2\nevent 0 0 0 1 3\n"), "");
+}
+
+TEST(PosetIo, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "/paramount_poset_io.txt";
+  const Poset original = make_random(4, 30, 0.5, 11);
+  save_poset(path, original);
+  const Poset reloaded = load_poset(path);
+  expect_posets_equal(original, reloaded);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace paramount

@@ -1,0 +1,94 @@
+#include "workloads/random_poset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "poset/lattice.hpp"
+#include "test_helpers.hpp"
+
+namespace paramount {
+namespace {
+
+TEST(RandomPoset, HasRequestedShape) {
+  RandomPosetParams params;
+  params.num_processes = 6;
+  params.num_events = 120;
+  params.seed = 2;
+  const Poset poset = make_random_poset(params);
+  EXPECT_EQ(poset.num_threads(), 6u);
+  EXPECT_EQ(poset.total_events(), 120u);
+  poset.check_invariants();
+}
+
+TEST(RandomPoset, DeterministicPerSeed) {
+  RandomPosetParams params;
+  params.num_events = 80;
+  params.seed = 9;
+  const Poset a = make_random_poset(params);
+  const Poset b = make_random_poset(params);
+  ASSERT_EQ(a.total_events(), b.total_events());
+  for (ThreadId t = 0; t < a.num_threads(); ++t) {
+    ASSERT_EQ(a.num_events(t), b.num_events(t));
+    for (EventIndex i = 1; i <= a.num_events(t); ++i) {
+      EXPECT_EQ(a.vc(t, i), b.vc(t, i));
+    }
+  }
+}
+
+TEST(RandomPoset, SeedsProduceDifferentPosets) {
+  RandomPosetParams pa, pb;
+  pa.seed = 1;
+  pb.seed = 2;
+  const Poset a = make_random_poset(pa);
+  const Poset b = make_random_poset(pb);
+  bool different = a.num_events(0) != b.num_events(0);
+  for (ThreadId t = 0; !different && t < a.num_threads(); ++t) {
+    if (a.num_events(t) != b.num_events(t)) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(RandomPoset, MessageDensityShrinksTheLattice) {
+  RandomPosetParams sparse, dense;
+  sparse.num_processes = dense.num_processes = 5;
+  sparse.num_events = dense.num_events = 40;
+  sparse.seed = dense.seed = 4;
+  sparse.message_probability = 0.05;
+  dense.message_probability = 0.9;
+  const auto sparse_count =
+      count_ideals(make_random_poset(sparse)).value();
+  const auto dense_count = count_ideals(make_random_poset(dense)).value();
+  EXPECT_GT(sparse_count, dense_count);
+}
+
+TEST(RandomPoset, MessagesCreateCrossEdges) {
+  RandomPosetParams params;
+  params.num_processes = 4;
+  params.num_events = 100;
+  params.message_probability = 0.6;
+  params.seed = 5;
+  const Poset poset = make_random_poset(params);
+  bool found_cross_edge = false;
+  for (ThreadId t = 0; t < poset.num_threads() && !found_cross_edge; ++t) {
+    for (EventIndex i = 1; i <= poset.num_events(t); ++i) {
+      const VectorClock& vc = poset.vc(t, i);
+      for (ThreadId j = 0; j < poset.num_threads(); ++j) {
+        if (j != t && vc[j] > 0) {
+          found_cross_edge = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_cross_edge);
+}
+
+TEST(RandomPoset, SingleProcessIsAChain) {
+  RandomPosetParams params;
+  params.num_processes = 1;
+  params.num_events = 25;
+  const Poset poset = make_random_poset(params);
+  EXPECT_EQ(count_ideals(poset).value(), 26u);
+}
+
+}  // namespace
+}  // namespace paramount

@@ -1,0 +1,189 @@
+// Tests for topological sorts and the lattice oracles.
+#include <gtest/gtest.h>
+
+#include "poset/global_state.hpp"
+#include "poset/lattice.hpp"
+#include "poset/topo_sort.hpp"
+#include "test_helpers.hpp"
+
+namespace paramount {
+namespace {
+
+using testing::make_antichain;
+using testing::make_chain;
+using testing::make_figure2_poset;
+using testing::make_figure4_poset;
+using testing::make_grid;
+using testing::make_random;
+
+// ---- topological sorts ----
+
+TEST(TopoSort, ChainHasUniqueOrder) {
+  const Poset poset = make_chain(4);
+  for (const auto policy : {TopoPolicy::kInterleave, TopoPolicy::kThreadMajor,
+                            TopoPolicy::kRandom}) {
+    const auto order = topological_sort(poset, policy, 9);
+    ASSERT_EQ(order.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(order[i], (EventId{0, static_cast<EventIndex>(i + 1)}));
+    }
+  }
+}
+
+TEST(TopoSort, AllPoliciesYieldLinearExtensions) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Poset poset = make_random(4, 50, 0.5, seed);
+    for (const auto policy : {TopoPolicy::kInterleave,
+                              TopoPolicy::kThreadMajor, TopoPolicy::kRandom}) {
+      const auto order = topological_sort(poset, policy, seed);
+      EXPECT_TRUE(is_linear_extension(poset, order))
+          << "policy=" << to_string(policy) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TopoSort, ThreadMajorDrainsLowThreadsFirst) {
+  const Poset poset = make_grid(2, 2);  // independent chains
+  const auto order = topological_sort(poset, TopoPolicy::kThreadMajor);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0].tid, 0u);
+  EXPECT_EQ(order[1].tid, 0u);
+  EXPECT_EQ(order[2].tid, 1u);
+  EXPECT_EQ(order[3].tid, 1u);
+}
+
+TEST(TopoSort, InterleaveAlternatesOnIndependentChains) {
+  const Poset poset = make_grid(2, 2);
+  const auto order = topological_sort(poset, TopoPolicy::kInterleave);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_NE(order[0].tid, order[1].tid);  // round-robin
+}
+
+TEST(TopoSort, RandomPolicyDeterministicPerSeed) {
+  const Poset poset = make_random(4, 40, 0.3, 5);
+  const auto a = topological_sort(poset, TopoPolicy::kRandom, 123);
+  const auto b = topological_sort(poset, TopoPolicy::kRandom, 123);
+  const auto c = topological_sort(poset, TopoPolicy::kRandom, 124);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // overwhelmingly likely for 40 events
+}
+
+TEST(TopoSort, RespectsCrossThreadEdges) {
+  const Poset poset = make_figure4_poset();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto order = topological_sort(poset, TopoPolicy::kRandom, seed);
+    // e2[1] must precede e1[2].
+    std::size_t pos_e21 = 0, pos_e12 = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == (EventId{1, 1})) pos_e21 = i;
+      if (order[i] == (EventId{0, 2})) pos_e12 = i;
+    }
+    EXPECT_LT(pos_e21, pos_e12);
+  }
+}
+
+TEST(TopoSort, IsLinearExtensionRejectsViolations) {
+  const Poset poset = make_figure4_poset();
+  // e1[2] before its predecessor e2[1].
+  EXPECT_FALSE(is_linear_extension(
+      poset, {{0, 1}, {0, 2}, {1, 1}, {1, 2}}));
+  // Wrong process order.
+  EXPECT_FALSE(is_linear_extension(
+      poset, {{0, 1}, {1, 2}, {1, 1}, {0, 2}}));
+  // Too short.
+  EXPECT_FALSE(is_linear_extension(poset, {{0, 1}}));
+  // A valid one.
+  EXPECT_TRUE(is_linear_extension(
+      poset, {{1, 1}, {0, 1}, {0, 2}, {1, 2}}));
+}
+
+// ---- lattice oracles ----
+
+TEST(Lattice, ChainCount) {
+  EXPECT_EQ(count_ideals(make_chain(0)).value(), 1u);
+  EXPECT_EQ(count_ideals(make_chain(5)).value(), 6u);
+  EXPECT_EQ(count_ideals(make_chain(100)).value(), 101u);
+}
+
+TEST(Lattice, AntichainCountIsPowerOfTwo) {
+  EXPECT_EQ(count_ideals(make_antichain(1)).value(), 2u);
+  EXPECT_EQ(count_ideals(make_antichain(6)).value(), 64u);
+  EXPECT_EQ(count_ideals(make_antichain(10)).value(), 1024u);
+}
+
+TEST(Lattice, GridCountIsProductOfPrefixCounts) {
+  // Two independent chains: every pair of prefixes is an ideal.
+  EXPECT_EQ(count_ideals(make_grid(3, 4)).value(), 4u * 5u);
+  EXPECT_EQ(count_ideals(make_grid(7, 2)).value(), 8u * 3u);
+}
+
+TEST(Lattice, Figure4Has7States) {
+  // 3×3 frontiers minus the inconsistent {2,0} and {0,2} (Figure 4(c)).
+  EXPECT_EQ(count_ideals(make_figure4_poset()).value(), 7u);
+}
+
+TEST(Lattice, Figure2Has8States) {
+  // The paper's Figure 2(b) shows G1..G8.
+  EXPECT_EQ(count_ideals(make_figure2_poset()).value(), 8u);
+}
+
+TEST(Lattice, CapReturnsNullopt) {
+  EXPECT_EQ(count_ideals(make_antichain(10), /*cap=*/100), std::nullopt);
+}
+
+TEST(Lattice, AllIdealsAreConsistentAndDistinct) {
+  const Poset poset = make_random(4, 24, 0.4, 3);
+  const auto ideals = all_ideals(poset);
+  std::set<testing::Key> seen;
+  for (const Frontier& f : ideals) {
+    EXPECT_TRUE(poset.is_consistent(f));
+    EXPECT_TRUE(seen.insert(testing::key_of(f)).second) << "duplicate state";
+  }
+  EXPECT_EQ(ideals.size(), count_ideals(poset).value());
+}
+
+TEST(Lattice, JoinAndMeetAreConsistent) {
+  const Poset poset = make_random(4, 24, 0.4, 4);
+  const auto ideals = all_ideals(poset);
+  // The lattice is closed under join and meet (distributive lattice).
+  for (std::size_t i = 0; i < ideals.size(); i += 7) {
+    for (std::size_t j = 0; j < ideals.size(); j += 11) {
+      EXPECT_TRUE(poset.is_consistent(ideal_join(ideals[i], ideals[j])));
+      EXPECT_TRUE(poset.is_consistent(ideal_meet(ideals[i], ideals[j])));
+    }
+  }
+}
+
+// ---- global-state primitives ----
+
+TEST(GlobalState, EventEnabledRespectsDependencies) {
+  const Poset poset = make_figure4_poset();
+  // At {1,0}: e1[2] needs e2[1] — not enabled; e2[1] is enabled.
+  EXPECT_FALSE(event_enabled(poset, Frontier{1, 0}, 0));
+  EXPECT_TRUE(event_enabled(poset, Frontier{1, 0}, 1));
+  // At {1,1}: e1[2] becomes enabled.
+  EXPECT_TRUE(event_enabled(poset, Frontier{1, 1}, 0));
+  // Past the end of a thread: not enabled.
+  EXPECT_FALSE(event_enabled(poset, Frontier{2, 2}, 0));
+}
+
+TEST(GlobalState, SuccessorsMatchFigure4) {
+  const Poset poset = make_figure4_poset();
+  const auto succ = successors(poset, Frontier{1, 1});
+  std::set<testing::Key> keys;
+  for (const Frontier& f : succ) keys.insert(testing::key_of(f));
+  EXPECT_EQ(keys, (std::set<testing::Key>{{2, 1}, {1, 2}}));
+}
+
+TEST(GlobalState, LeastStateContainingIsVectorClock) {
+  const Poset poset = make_figure4_poset();
+  EXPECT_EQ(least_state_containing(poset, EventId{0, 2}),
+            (Frontier{2, 1}));
+}
+
+TEST(GlobalState, RankCountsEvents) {
+  EXPECT_EQ(state_rank(Frontier{2, 1, 3}), 6u);
+}
+
+}  // namespace
+}  // namespace paramount

@@ -1,0 +1,108 @@
+#include "poset/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace paramount {
+namespace {
+
+TEST(VectorClock, ZeroInitialized) {
+  VectorClock vc(4);
+  EXPECT_EQ(vc.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(vc[i], 0u);
+}
+
+TEST(VectorClock, InitializerList) {
+  VectorClock vc{1, 2, 3};
+  EXPECT_EQ(vc.size(), 3u);
+  EXPECT_EQ(vc[1], 2u);
+}
+
+TEST(VectorClock, JoinTakesComponentwiseMax) {
+  VectorClock a{3, 1, 0};
+  a.join({1, 4, 2});
+  EXPECT_EQ(a, (VectorClock{3, 4, 2}));
+}
+
+TEST(VectorClock, JoinIsIdempotent) {
+  VectorClock a{2, 5};
+  VectorClock b = a;
+  a.join(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VectorClock, LeqReflexive) {
+  VectorClock a{1, 2, 3};
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, LeqComponentwise) {
+  EXPECT_TRUE((VectorClock{1, 2}).leq({1, 3}));
+  EXPECT_FALSE((VectorClock{1, 4}).leq({1, 3}));
+  EXPECT_FALSE((VectorClock{2, 2}).leq({1, 3}));
+}
+
+TEST(VectorClock, CompareEnumeratesAllCases) {
+  using O = VectorClock::Order;
+  EXPECT_EQ(VectorClock::compare({1, 2}, {1, 2}), O::kEqual);
+  EXPECT_EQ(VectorClock::compare({1, 1}, {1, 2}), O::kLess);
+  EXPECT_EQ(VectorClock::compare({2, 2}, {1, 2}), O::kGreater);
+  EXPECT_EQ(VectorClock::compare({2, 0}, {0, 2}), O::kConcurrent);
+}
+
+TEST(VectorClock, LexLessUsesFirstDifference) {
+  EXPECT_TRUE(VectorClock::lex_less({1, 9}, {2, 0}));
+  EXPECT_FALSE(VectorClock::lex_less({2, 0}, {1, 9}));
+  EXPECT_TRUE(VectorClock::lex_less({1, 1}, {1, 2}));
+  EXPECT_FALSE(VectorClock::lex_less({1, 2}, {1, 2}));
+}
+
+TEST(VectorClock, HashEqualForEqualClocks) {
+  EXPECT_EQ((VectorClock{1, 2, 3}).hash(), (VectorClock{1, 2, 3}).hash());
+}
+
+TEST(VectorClock, HashMostlyDistinct) {
+  // Sanity: hashing a few thousand distinct clocks should not collapse.
+  std::set<std::uint64_t> hashes;
+  for (EventIndex i = 0; i < 50; ++i) {
+    for (EventIndex j = 0; j < 50; ++j) {
+      hashes.insert(VectorClock{i, j}.hash());
+    }
+  }
+  EXPECT_GT(hashes.size(), 2400u);
+}
+
+TEST(VectorClock, SumAddsComponents) {
+  EXPECT_EQ((VectorClock{1, 2, 3}).sum(), 6u);
+  EXPECT_EQ(VectorClock(3).sum(), 0u);
+}
+
+TEST(VectorClock, ToString) {
+  EXPECT_EQ((VectorClock{1, 0, 2}).to_string(), "[1,0,2]");
+  EXPECT_EQ(VectorClock().to_string(), "[]");
+}
+
+TEST(VectorClock, Algorithm3CalculateVectorClock) {
+  // The paper's worked example: thread t acquires lock l.
+  VectorClock thread_clock{2, 1, 0};
+  VectorClock lock_clock{0, 3, 1};
+  const VectorClock event_clock =
+      calculate_vector_clock(0, thread_clock, lock_clock);
+  // Own component incremented, then joined with the lock's clock.
+  EXPECT_EQ(event_clock, (VectorClock{3, 3, 1}));
+  // The thread carries the new clock; the lock adopted it (vcj ← vci).
+  EXPECT_EQ(thread_clock, event_clock);
+  EXPECT_EQ(lock_clock, event_clock);
+}
+
+TEST(VectorClock, Algorithm3ChainsHandOffs) {
+  // Release/acquire through a lock transfers causality transitively.
+  VectorClock t0{0, 0}, t1{0, 0}, lock{0, 0};
+  calculate_vector_clock(0, t0, lock);  // t0 acquires
+  const VectorClock after_t1 = calculate_vector_clock(1, t1, lock);
+  EXPECT_EQ(after_t1, (VectorClock{1, 1}));  // t1 saw t0's event
+}
+
+}  // namespace
+}  // namespace paramount

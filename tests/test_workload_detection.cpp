@@ -1,0 +1,163 @@
+// Ground-truth detection tests over the traced benchmark programs: the
+// ParaMount online detector, FastTrack and the offline BFS (RV-analogue)
+// detector must agree with each program's known race status (Table 2).
+//
+// Race *presence* in an observed execution depends on the schedule (a fully
+// serialized interleaving can hide a race from any happened-before-based
+// predictor — the paper's §5.3 limitation), so positive expectations retry a
+// few schedules. Race-FREEDOM must hold on every run: a single false
+// positive is a soundness bug.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "workloads/harness.hpp"
+
+namespace paramount {
+namespace {
+
+constexpr std::size_t kScale = 1;
+constexpr int kScheduleRetries = 5;
+
+std::set<std::string> paramount_fields_with_retry(
+    const TracedProgramSpec& spec) {
+  std::set<std::string> fields;
+  for (int attempt = 0; attempt < kScheduleRetries; ++attempt) {
+    const auto result = run_paramount_detector(spec, kScale);
+    fields.insert(result.racy_fields.begin(), result.racy_fields.end());
+    if (fields.size() >= spec.expected_racy_vars.size()) break;
+  }
+  return fields;
+}
+
+std::set<std::string> fasttrack_fields_with_retry(
+    const TracedProgramSpec& spec) {
+  std::set<std::string> fields;
+  for (int attempt = 0; attempt < kScheduleRetries; ++attempt) {
+    const auto result = run_fasttrack_detector(spec, kScale);
+    fields.insert(result.racy_fields.begin(), result.racy_fields.end());
+    if (!fields.empty()) break;
+  }
+  return fields;
+}
+
+class RacyProgram : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RacyProgram, ParamountFindsTheExpectedFields) {
+  const TracedProgramSpec& spec = traced_program(GetParam());
+  ASSERT_FALSE(spec.race_free);
+  const auto fields = paramount_fields_with_retry(spec);
+  for (const std::string& var : spec.expected_racy_vars) {
+    EXPECT_TRUE(fields.count(field_of(var)))
+        << spec.name << ": expected racy field '" << field_of(var)
+        << "' not reported; got {"
+        << [&] {
+             std::string all;
+             for (const auto& f : fields) all += f + ",";
+             return all;
+           }();
+  }
+}
+
+TEST_P(RacyProgram, FastTrackAlsoFindsARace) {
+  const TracedProgramSpec& spec = traced_program(GetParam());
+  EXPECT_FALSE(fasttrack_fields_with_retry(spec).empty()) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, RacyProgram,
+                         ::testing::Values("banking", "set_faulty",
+                                           "arraylist1", "tsp", "raytracer",
+                                           "hedc", "montecarlo"));
+
+class RaceFreeProgram : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RaceFreeProgram, ParamountReportsNothingEver) {
+  const TracedProgramSpec& spec = traced_program(GetParam());
+  ASSERT_TRUE(spec.race_free);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto result = run_paramount_detector(spec, kScale);
+    EXPECT_TRUE(result.racy_fields.empty())
+        << spec.name << " false positive on attempt " << attempt << ": "
+        << *result.racy_fields.begin();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, RaceFreeProgram,
+                         ::testing::Values("set_correct", "arraylist2", "sor",
+                                           "elevator", "moldyn"));
+
+TEST(Table2Nuance, FastTrackReportsBenignInitOnCorrectSet) {
+  // The paper's set(correct) row: FastTrack reports the initialization
+  // write; the ParaMount detector's §5.2 exemption does not.
+  const TracedProgramSpec& spec = traced_program("set_correct");
+  const auto fields = fasttrack_fields_with_retry(spec);
+  EXPECT_FALSE(fields.empty());
+}
+
+TEST(Detectors, OfflineBfsAgreesWithParamountOnBanking) {
+  const TracedProgramSpec& spec = traced_program("banking");
+  std::set<std::string> offline_fields;
+  for (int attempt = 0; attempt < kScheduleRetries; ++attempt) {
+    const auto result = run_offline_bfs_detector(spec, kScale);
+    ASSERT_FALSE(result.out_of_memory);
+    offline_fields.insert(result.racy_fields.begin(),
+                          result.racy_fields.end());
+    if (!offline_fields.empty()) break;
+  }
+  EXPECT_TRUE(offline_fields.count("hot_balance"));
+}
+
+TEST(Detectors, OfflineBfsCleanOnSor) {
+  const auto result = run_offline_bfs_detector(traced_program("sor"), kScale);
+  ASSERT_FALSE(result.out_of_memory);
+  EXPECT_TRUE(result.racy_fields.empty());
+}
+
+TEST(Detectors, OfflineBfsRunsOutOfBudgetOnWidePoset) {
+  // A wide poset (12 fully concurrent single-event threads) overflows a
+  // small BFS budget — the deterministic analogue of the paper's o.o.m.
+  // rows. (The traced programs at test scale yield narrow lattices, so the
+  // width is constructed directly here; bench_table2 exercises the budget
+  // against the recorded programs at larger scales.)
+  const Poset wide = testing::make_antichain(12);
+  AccessTable empty_accesses(12);
+  RaceReport report;
+  const auto stats = detect_races_offline_bfs(wide, empty_accesses, report,
+                                              /*budget_bytes=*/4 * 1024);
+  EXPECT_TRUE(stats.out_of_memory);
+  EXPECT_EQ(report.num_racy_vars(), 0u);
+}
+
+TEST(Detectors, ParamountDetectorCountsStatesAndEvents) {
+  const auto result = run_paramount_detector(traced_program("banking"),
+                                             kScale);
+  EXPECT_GT(result.events, 10u);
+  EXPECT_GT(result.states_enumerated, result.events);
+}
+
+TEST(Detectors, AsyncModeFindsSameRacesAsInline) {
+  const TracedProgramSpec& spec = traced_program("arraylist1");
+  OnlineRaceDetector::Options async_options;
+  async_options.async_workers = 2;
+  std::set<std::string> fields;
+  for (int attempt = 0; attempt < kScheduleRetries; ++attempt) {
+    const auto result = run_paramount_detector(spec, kScale, async_options);
+    fields.insert(result.racy_fields.begin(), result.racy_fields.end());
+    if (fields.size() >= 3) break;
+  }
+  EXPECT_TRUE(fields.count("size"));
+}
+
+TEST(Harness, FieldOfStripsPrefixes) {
+  EXPECT_EQ(field_of("node3.next"), "next");
+  EXPECT_EQ(field_of("G[2]"), "G");
+  EXPECT_EQ(field_of("checksum"), "checksum");
+  EXPECT_EQ(field_of("result.status"), "status");
+}
+
+TEST(Harness, BaseRunCompletes) {
+  const auto result = run_base(traced_program("banking"), kScale);
+  EXPECT_GE(result.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace paramount
