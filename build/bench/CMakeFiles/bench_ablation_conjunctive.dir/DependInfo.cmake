@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_conjunctive.cpp" "bench/CMakeFiles/bench_ablation_conjunctive.dir/bench_ablation_conjunctive.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_conjunctive.dir/bench_ablation_conjunctive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/paramount_work.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/paramount_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/paramount_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/paramount_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumeration/CMakeFiles/paramount_enum.dir/DependInfo.cmake"
+  "/root/repo/build/src/poset/CMakeFiles/paramount_poset.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paramount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conjunctive.dir/bench_ablation_conjunctive.cpp.o"
+  "CMakeFiles/bench_ablation_conjunctive.dir/bench_ablation_conjunctive.cpp.o.d"
+  "bench_ablation_conjunctive"
+  "bench_ablation_conjunctive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conjunctive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

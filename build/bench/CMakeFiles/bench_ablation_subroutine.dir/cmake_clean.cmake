@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subroutine.dir/bench_ablation_subroutine.cpp.o"
+  "CMakeFiles/bench_ablation_subroutine.dir/bench_ablation_subroutine.cpp.o.d"
+  "bench_ablation_subroutine"
+  "bench_ablation_subroutine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subroutine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

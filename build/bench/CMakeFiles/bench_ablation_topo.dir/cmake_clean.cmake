@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_topo.dir/bench_ablation_topo.cpp.o"
+  "CMakeFiles/bench_ablation_topo.dir/bench_ablation_topo.cpp.o.d"
+  "bench_ablation_topo"
+  "bench_ablation_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

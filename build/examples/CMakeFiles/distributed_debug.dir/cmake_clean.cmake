@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_debug.dir/distributed_debug.cpp.o"
+  "CMakeFiles/distributed_debug.dir/distributed_debug.cpp.o.d"
+  "distributed_debug"
+  "distributed_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_zoo.dir/predicate_zoo.cpp.o"
+  "CMakeFiles/predicate_zoo.dir/predicate_zoo.cpp.o.d"
+  "predicate_zoo"
+  "predicate_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

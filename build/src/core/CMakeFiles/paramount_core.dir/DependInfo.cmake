@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/interval.cpp" "src/core/CMakeFiles/paramount_core.dir/interval.cpp.o" "gcc" "src/core/CMakeFiles/paramount_core.dir/interval.cpp.o.d"
+  "/root/repo/src/core/online_paramount.cpp" "src/core/CMakeFiles/paramount_core.dir/online_paramount.cpp.o" "gcc" "src/core/CMakeFiles/paramount_core.dir/online_paramount.cpp.o.d"
+  "/root/repo/src/core/paramount.cpp" "src/core/CMakeFiles/paramount_core.dir/paramount.cpp.o" "gcc" "src/core/CMakeFiles/paramount_core.dir/paramount.cpp.o.d"
+  "/root/repo/src/core/schedule_sim.cpp" "src/core/CMakeFiles/paramount_core.dir/schedule_sim.cpp.o" "gcc" "src/core/CMakeFiles/paramount_core.dir/schedule_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enumeration/CMakeFiles/paramount_enum.dir/DependInfo.cmake"
+  "/root/repo/build/src/poset/CMakeFiles/paramount_poset.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paramount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramount_core.dir/interval.cpp.o"
+  "CMakeFiles/paramount_core.dir/interval.cpp.o.d"
+  "CMakeFiles/paramount_core.dir/online_paramount.cpp.o"
+  "CMakeFiles/paramount_core.dir/online_paramount.cpp.o.d"
+  "CMakeFiles/paramount_core.dir/paramount.cpp.o"
+  "CMakeFiles/paramount_core.dir/paramount.cpp.o.d"
+  "CMakeFiles/paramount_core.dir/schedule_sim.cpp.o"
+  "CMakeFiles/paramount_core.dir/schedule_sim.cpp.o.d"
+  "libparamount_core.a"
+  "libparamount_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramount_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/conjunctive.cpp" "src/detect/CMakeFiles/paramount_detect.dir/conjunctive.cpp.o" "gcc" "src/detect/CMakeFiles/paramount_detect.dir/conjunctive.cpp.o.d"
+  "/root/repo/src/detect/fasttrack.cpp" "src/detect/CMakeFiles/paramount_detect.dir/fasttrack.cpp.o" "gcc" "src/detect/CMakeFiles/paramount_detect.dir/fasttrack.cpp.o.d"
+  "/root/repo/src/detect/modalities.cpp" "src/detect/CMakeFiles/paramount_detect.dir/modalities.cpp.o" "gcc" "src/detect/CMakeFiles/paramount_detect.dir/modalities.cpp.o.d"
+  "/root/repo/src/detect/offline_bfs_detector.cpp" "src/detect/CMakeFiles/paramount_detect.dir/offline_bfs_detector.cpp.o" "gcc" "src/detect/CMakeFiles/paramount_detect.dir/offline_bfs_detector.cpp.o.d"
+  "/root/repo/src/detect/race_report.cpp" "src/detect/CMakeFiles/paramount_detect.dir/race_report.cpp.o" "gcc" "src/detect/CMakeFiles/paramount_detect.dir/race_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/paramount_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/paramount_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumeration/CMakeFiles/paramount_enum.dir/DependInfo.cmake"
+  "/root/repo/build/src/poset/CMakeFiles/paramount_poset.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paramount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramount_detect.dir/conjunctive.cpp.o"
+  "CMakeFiles/paramount_detect.dir/conjunctive.cpp.o.d"
+  "CMakeFiles/paramount_detect.dir/fasttrack.cpp.o"
+  "CMakeFiles/paramount_detect.dir/fasttrack.cpp.o.d"
+  "CMakeFiles/paramount_detect.dir/modalities.cpp.o"
+  "CMakeFiles/paramount_detect.dir/modalities.cpp.o.d"
+  "CMakeFiles/paramount_detect.dir/offline_bfs_detector.cpp.o"
+  "CMakeFiles/paramount_detect.dir/offline_bfs_detector.cpp.o.d"
+  "CMakeFiles/paramount_detect.dir/race_report.cpp.o"
+  "CMakeFiles/paramount_detect.dir/race_report.cpp.o.d"
+  "libparamount_detect.a"
+  "libparamount_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramount_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

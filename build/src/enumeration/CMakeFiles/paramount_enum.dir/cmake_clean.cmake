@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramount_enum.dir/dispatch.cpp.o"
+  "CMakeFiles/paramount_enum.dir/dispatch.cpp.o.d"
+  "libparamount_enum.a"
+  "libparamount_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramount_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

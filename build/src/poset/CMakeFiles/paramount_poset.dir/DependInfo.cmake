@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poset/event.cpp" "src/poset/CMakeFiles/paramount_poset.dir/event.cpp.o" "gcc" "src/poset/CMakeFiles/paramount_poset.dir/event.cpp.o.d"
+  "/root/repo/src/poset/lattice.cpp" "src/poset/CMakeFiles/paramount_poset.dir/lattice.cpp.o" "gcc" "src/poset/CMakeFiles/paramount_poset.dir/lattice.cpp.o.d"
+  "/root/repo/src/poset/online_poset.cpp" "src/poset/CMakeFiles/paramount_poset.dir/online_poset.cpp.o" "gcc" "src/poset/CMakeFiles/paramount_poset.dir/online_poset.cpp.o.d"
+  "/root/repo/src/poset/poset.cpp" "src/poset/CMakeFiles/paramount_poset.dir/poset.cpp.o" "gcc" "src/poset/CMakeFiles/paramount_poset.dir/poset.cpp.o.d"
+  "/root/repo/src/poset/poset_builder.cpp" "src/poset/CMakeFiles/paramount_poset.dir/poset_builder.cpp.o" "gcc" "src/poset/CMakeFiles/paramount_poset.dir/poset_builder.cpp.o.d"
+  "/root/repo/src/poset/poset_io.cpp" "src/poset/CMakeFiles/paramount_poset.dir/poset_io.cpp.o" "gcc" "src/poset/CMakeFiles/paramount_poset.dir/poset_io.cpp.o.d"
+  "/root/repo/src/poset/topo_sort.cpp" "src/poset/CMakeFiles/paramount_poset.dir/topo_sort.cpp.o" "gcc" "src/poset/CMakeFiles/paramount_poset.dir/topo_sort.cpp.o.d"
+  "/root/repo/src/poset/vector_clock.cpp" "src/poset/CMakeFiles/paramount_poset.dir/vector_clock.cpp.o" "gcc" "src/poset/CMakeFiles/paramount_poset.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/paramount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

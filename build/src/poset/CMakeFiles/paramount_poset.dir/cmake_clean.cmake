@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramount_poset.dir/event.cpp.o"
+  "CMakeFiles/paramount_poset.dir/event.cpp.o.d"
+  "CMakeFiles/paramount_poset.dir/lattice.cpp.o"
+  "CMakeFiles/paramount_poset.dir/lattice.cpp.o.d"
+  "CMakeFiles/paramount_poset.dir/online_poset.cpp.o"
+  "CMakeFiles/paramount_poset.dir/online_poset.cpp.o.d"
+  "CMakeFiles/paramount_poset.dir/poset.cpp.o"
+  "CMakeFiles/paramount_poset.dir/poset.cpp.o.d"
+  "CMakeFiles/paramount_poset.dir/poset_builder.cpp.o"
+  "CMakeFiles/paramount_poset.dir/poset_builder.cpp.o.d"
+  "CMakeFiles/paramount_poset.dir/poset_io.cpp.o"
+  "CMakeFiles/paramount_poset.dir/poset_io.cpp.o.d"
+  "CMakeFiles/paramount_poset.dir/topo_sort.cpp.o"
+  "CMakeFiles/paramount_poset.dir/topo_sort.cpp.o.d"
+  "CMakeFiles/paramount_poset.dir/vector_clock.cpp.o"
+  "CMakeFiles/paramount_poset.dir/vector_clock.cpp.o.d"
+  "libparamount_poset.a"
+  "libparamount_poset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramount_poset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramount_runtime.dir/tracer.cpp.o"
+  "CMakeFiles/paramount_runtime.dir/tracer.cpp.o.d"
+  "libparamount_runtime.a"
+  "libparamount_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramount_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

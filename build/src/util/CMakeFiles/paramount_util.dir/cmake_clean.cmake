@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramount_util.dir/cli.cpp.o"
+  "CMakeFiles/paramount_util.dir/cli.cpp.o.d"
+  "CMakeFiles/paramount_util.dir/stats.cpp.o"
+  "CMakeFiles/paramount_util.dir/stats.cpp.o.d"
+  "CMakeFiles/paramount_util.dir/table.cpp.o"
+  "CMakeFiles/paramount_util.dir/table.cpp.o.d"
+  "CMakeFiles/paramount_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/paramount_util.dir/thread_pool.cpp.o.d"
+  "libparamount_util.a"
+  "libparamount_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramount_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

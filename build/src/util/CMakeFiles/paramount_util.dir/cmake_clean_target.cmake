@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparamount_util.a"
+)

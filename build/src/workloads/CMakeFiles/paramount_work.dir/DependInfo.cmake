@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/harness.cpp" "src/workloads/CMakeFiles/paramount_work.dir/harness.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/harness.cpp.o.d"
+  "/root/repo/src/workloads/prog_arraylist.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_arraylist.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_arraylist.cpp.o.d"
+  "/root/repo/src/workloads/prog_banking.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_banking.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_banking.cpp.o.d"
+  "/root/repo/src/workloads/prog_elevator.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_elevator.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_elevator.cpp.o.d"
+  "/root/repo/src/workloads/prog_hedc.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_hedc.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_hedc.cpp.o.d"
+  "/root/repo/src/workloads/prog_moldyn.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_moldyn.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_moldyn.cpp.o.d"
+  "/root/repo/src/workloads/prog_montecarlo.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_montecarlo.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_montecarlo.cpp.o.d"
+  "/root/repo/src/workloads/prog_raytracer.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_raytracer.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_raytracer.cpp.o.d"
+  "/root/repo/src/workloads/prog_set.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_set.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_set.cpp.o.d"
+  "/root/repo/src/workloads/prog_sor.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_sor.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_sor.cpp.o.d"
+  "/root/repo/src/workloads/prog_tsp.cpp" "src/workloads/CMakeFiles/paramount_work.dir/prog_tsp.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/prog_tsp.cpp.o.d"
+  "/root/repo/src/workloads/random_poset.cpp" "src/workloads/CMakeFiles/paramount_work.dir/random_poset.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/random_poset.cpp.o.d"
+  "/root/repo/src/workloads/traced_programs.cpp" "src/workloads/CMakeFiles/paramount_work.dir/traced_programs.cpp.o" "gcc" "src/workloads/CMakeFiles/paramount_work.dir/traced_programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/paramount_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/paramount_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/paramount_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumeration/CMakeFiles/paramount_enum.dir/DependInfo.cmake"
+  "/root/repo/build/src/poset/CMakeFiles/paramount_poset.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paramount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramount_work.dir/harness.cpp.o"
+  "CMakeFiles/paramount_work.dir/harness.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_arraylist.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_arraylist.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_banking.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_banking.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_elevator.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_elevator.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_hedc.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_hedc.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_moldyn.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_moldyn.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_montecarlo.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_montecarlo.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_raytracer.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_raytracer.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_set.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_set.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_sor.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_sor.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/prog_tsp.cpp.o"
+  "CMakeFiles/paramount_work.dir/prog_tsp.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/random_poset.cpp.o"
+  "CMakeFiles/paramount_work.dir/random_poset.cpp.o.d"
+  "CMakeFiles/paramount_work.dir/traced_programs.cpp.o"
+  "CMakeFiles/paramount_work.dir/traced_programs.cpp.o.d"
+  "libparamount_work.a"
+  "libparamount_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramount_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_conjunctive.cpp" "tests/CMakeFiles/detection_tests.dir/test_conjunctive.cpp.o" "gcc" "tests/CMakeFiles/detection_tests.dir/test_conjunctive.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/detection_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/detection_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_modalities.cpp" "tests/CMakeFiles/detection_tests.dir/test_modalities.cpp.o" "gcc" "tests/CMakeFiles/detection_tests.dir/test_modalities.cpp.o.d"
+  "/root/repo/tests/test_schedule_controller.cpp" "tests/CMakeFiles/detection_tests.dir/test_schedule_controller.cpp.o" "gcc" "tests/CMakeFiles/detection_tests.dir/test_schedule_controller.cpp.o.d"
+  "/root/repo/tests/test_workload_detection.cpp" "tests/CMakeFiles/detection_tests.dir/test_workload_detection.cpp.o" "gcc" "tests/CMakeFiles/detection_tests.dir/test_workload_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/paramount_work.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/paramount_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/paramount_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/paramount_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumeration/CMakeFiles/paramount_enum.dir/DependInfo.cmake"
+  "/root/repo/build/src/poset/CMakeFiles/paramount_poset.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/paramount_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

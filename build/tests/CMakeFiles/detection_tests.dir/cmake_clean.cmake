@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_tests.dir/test_conjunctive.cpp.o"
+  "CMakeFiles/detection_tests.dir/test_conjunctive.cpp.o.d"
+  "CMakeFiles/detection_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/detection_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/detection_tests.dir/test_modalities.cpp.o"
+  "CMakeFiles/detection_tests.dir/test_modalities.cpp.o.d"
+  "CMakeFiles/detection_tests.dir/test_schedule_controller.cpp.o"
+  "CMakeFiles/detection_tests.dir/test_schedule_controller.cpp.o.d"
+  "CMakeFiles/detection_tests.dir/test_workload_detection.cpp.o"
+  "CMakeFiles/detection_tests.dir/test_workload_detection.cpp.o.d"
+  "detection_tests"
+  "detection_tests.pdb"
+  "detection_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumeration_tests.dir/test_enumerators.cpp.o"
+  "CMakeFiles/enumeration_tests.dir/test_enumerators.cpp.o.d"
+  "CMakeFiles/enumeration_tests.dir/test_wide_poset.cpp.o"
+  "CMakeFiles/enumeration_tests.dir/test_wide_poset.cpp.o.d"
+  "enumeration_tests"
+  "enumeration_tests.pdb"
+  "enumeration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumeration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

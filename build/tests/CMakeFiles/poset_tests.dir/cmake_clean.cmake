@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poset_tests.dir/test_poset.cpp.o"
+  "CMakeFiles/poset_tests.dir/test_poset.cpp.o.d"
+  "CMakeFiles/poset_tests.dir/test_poset_io.cpp.o"
+  "CMakeFiles/poset_tests.dir/test_poset_io.cpp.o.d"
+  "CMakeFiles/poset_tests.dir/test_random_poset.cpp.o"
+  "CMakeFiles/poset_tests.dir/test_random_poset.cpp.o.d"
+  "CMakeFiles/poset_tests.dir/test_topo_lattice.cpp.o"
+  "CMakeFiles/poset_tests.dir/test_topo_lattice.cpp.o.d"
+  "CMakeFiles/poset_tests.dir/test_vector_clock.cpp.o"
+  "CMakeFiles/poset_tests.dir/test_vector_clock.cpp.o.d"
+  "poset_tests"
+  "poset_tests.pdb"
+  "poset_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poset_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

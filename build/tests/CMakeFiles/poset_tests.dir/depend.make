@@ -1,0 +1,2 @@
+# Empty dependencies file for poset_tests.
+# This may be replaced when dependencies are built.

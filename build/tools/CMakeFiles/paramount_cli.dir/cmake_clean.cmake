@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramount_cli.dir/paramount_cli.cpp.o"
+  "CMakeFiles/paramount_cli.dir/paramount_cli.cpp.o.d"
+  "paramount"
+  "paramount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramount_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
