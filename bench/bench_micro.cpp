@@ -1,12 +1,19 @@
 // Micro benchmarks (google-benchmark) for the hot primitives underneath the
 // enumeration stack: vector-clock operations, the lexical successor step,
-// BFS level expansion, interval computation, topological sorting, and the
-// concurrent containers.
+// BFS level expansion, interval computation, topological sorting, the
+// concurrent containers, and the telemetry hot path.
+//
+// Telemetry overhead acceptance: compare BM_ParamountDriver against
+// BM_ParamountDriverTelemetry in a default build, or rebuild with
+// -DPARAMOUNT_NO_TELEMETRY=ON and compare the telemetry variant against
+// itself across builds; the instrumented driver must stay within 2%.
 #include <benchmark/benchmark.h>
 
 #include "core/interval.hpp"
+#include "core/paramount.hpp"
 #include "enumeration/bfs_enumerator.hpp"
 #include "enumeration/lexical_enumerator.hpp"
+#include "obs/telemetry.hpp"
 #include "poset/lattice.hpp"
 #include "poset/topo_sort.hpp"
 #include "util/stable_vector.hpp"
@@ -127,6 +134,71 @@ void BM_StableVectorRead(benchmark::State& state) {
   state.SetItemsProcessed(4096 * state.iterations());
 }
 BENCHMARK(BM_StableVectorRead);
+
+// ---- telemetry ----
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry(1);
+  const obs::MetricId id = registry.counter("bench.counter");
+  for (auto _ : state) {
+    registry.add(id, 0);
+  }
+  benchmark::DoNotOptimize(registry.snapshot());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry(1);
+  const obs::MetricId id = registry.histogram("bench.histogram");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    registry.observe(id, 0, v);
+    v = v * 6364136223846793005ULL + 1;  // cheap LCG to vary the bucket
+  }
+  benchmark::DoNotOptimize(registry.snapshot());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_SpanRecord(benchmark::State& state) {
+  obs::SpanTracer tracer(1, /*capacity_per_shard=*/64);
+  for (auto _ : state) {
+    // Capacity is tiny on purpose: steady-state tracing cost is the
+    // full-buffer path (a counter bump), which is what long runs pay.
+    obs::TraceSpan span(&tracer, 0, "bench", "bench");
+  }
+  benchmark::DoNotOptimize(tracer.dropped());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanRecord);
+
+// The ParaMount driver with and without an attached Telemetry sink; the
+// delta is the end-to-end instrumentation overhead the <2% budget is about.
+void paramount_driver_bench(benchmark::State& state, bool with_telemetry) {
+  const Poset poset = bench_poset(8, 32);
+  ParamountOptions options;
+  options.num_workers = 1;
+  obs::Telemetry telemetry(1, /*trace_capacity_per_shard=*/256);
+  if (with_telemetry) options.telemetry = &telemetry;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    states =
+        enumerate_paramount(poset, options, [](const Frontier&) {}).states;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states) *
+                          state.iterations());
+}
+
+void BM_ParamountDriver(benchmark::State& state) {
+  paramount_driver_bench(state, false);
+}
+BENCHMARK(BM_ParamountDriver);
+
+void BM_ParamountDriverTelemetry(benchmark::State& state) {
+  paramount_driver_bench(state, true);
+}
+BENCHMARK(BM_ParamountDriverTelemetry);
 
 void BM_IsConsistent(benchmark::State& state) {
   const Poset poset = bench_poset(10, 60);

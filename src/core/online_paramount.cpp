@@ -6,8 +6,15 @@ OnlineParamount::OnlineParamount(std::size_t num_threads, Options options,
                                  IntervalStateVisitor visit)
     : poset_(num_threads), options_(options), visit_(std::move(visit)) {
   PM_CHECK(visit_ != nullptr);
+  obs::Telemetry* const tel = options_.telemetry;
+  PM_CHECK_MSG(tel == nullptr || tel->num_shards() >=
+                                     num_threads + options_.async_workers,
+               "online telemetry needs num_threads + async_workers shards");
   if (options_.async_workers > 0) {
-    pool_ = std::make_unique<ThreadPool>(options_.async_workers);
+    // Pool workers report on shards above the program threads' so every
+    // shard keeps a single writer (see Options::telemetry).
+    pool_ = std::make_unique<ThreadPool>(options_.async_workers, tel,
+                                         /*shard_base=*/num_threads);
   }
 }
 
@@ -17,8 +24,20 @@ OnlineParamount::~OnlineParamount() {
 
 EventId OnlineParamount::submit(ThreadId tid, OpKind kind,
                                 std::uint32_t object, VectorClock clock) {
+  obs::Telemetry* const tel = options_.telemetry;
+  const std::uint64_t insert_ns =
+      tel != nullptr ? tel->tracer().now_ns() : 0;
   const OnlinePoset::Inserted ins =
       poset_.insert(tid, kind, object, std::move(clock));
+  if (tel != nullptr) {
+    // The insert is Algorithm 4's atomic block: it appends to →p and
+    // snapshots the maximal frontier (Gbnd).
+    const std::uint64_t done_ns = tel->tracer().now_ns();
+    tel->metrics().add(tel->claims, tid);
+    tel->metrics().observe(tel->gbnd_ns, tid, done_ns - insert_ns);
+    tel->tracer().record(tid, "gbnd_snapshot", "online", insert_ns,
+                         done_ns - insert_ns);
+  }
   if (pool_ != nullptr) {
     pool_->submit([this, ins] { enumerate_interval(ins); });
   } else {
@@ -32,6 +51,16 @@ void OnlineParamount::drain() {
 }
 
 void OnlineParamount::enumerate_interval(const OnlinePoset::Inserted& ins) {
+  obs::Telemetry* const tel = options_.telemetry;
+  // Inline mode runs on the submitting program thread (shard = its tid);
+  // pooled mode runs on a pool worker (shards above the program threads).
+  std::size_t shard = ins.id.tid;
+  if (tel != nullptr && pool_ != nullptr) {
+    const std::size_t worker = ThreadPool::current_worker_index();
+    PM_DCHECK(worker != ThreadPool::npos);
+    shard = poset_.num_threads() + worker;
+  }
+  const std::uint64_t start_ns = tel != nullptr ? tel->tracer().now_ns() : 0;
   std::uint64_t states = 0;
   // The empty state {0,…,0} belongs to the interval of the first event in
   // the insertion order →p (Figure 6a).
@@ -45,6 +74,15 @@ void OnlineParamount::enumerate_interval(const OnlinePoset::Inserted& ins) {
   states += stats.states;
   states_.fetch_add(states, std::memory_order_relaxed);
   intervals_.fetch_add(1, std::memory_order_relaxed);
+  if (tel != nullptr) {
+    const std::uint64_t end_ns = tel->tracer().now_ns();
+    tel->tracer().record(shard, "interval", "enumerate", start_ns,
+                         end_ns - start_ns, "states", states);
+    tel->metrics().add(tel->states, shard, states);
+    tel->metrics().add(tel->intervals, shard);
+    tel->metrics().observe(tel->interval_states, shard, states);
+    tel->metrics().observe(tel->interval_ns, shard, end_ns - start_ns);
+  }
 }
 
 }  // namespace paramount

@@ -32,6 +32,10 @@ class OnlineParamount {
   struct Options {
     EnumAlgorithm subroutine = EnumAlgorithm::kLexical;
     std::size_t async_workers = 0;  // 0 = enumerate inline on submit
+    // Optional telemetry sink (see src/obs/). Shard layout: submitting
+    // program thread t writes shard t; pooled enumeration worker w writes
+    // shard num_threads + w. Requires num_threads + async_workers shards.
+    obs::Telemetry* telemetry = nullptr;
   };
 
   // Visitor invoked once per enumerated global state, possibly from several

@@ -18,11 +18,32 @@ ParamountResult enumerate_paramount(const Poset& poset,
   return enumerate_paramount(poset, intervals, options, visit);
 }
 
+namespace {
+
+// Per-interval instrumentation shared by the offline drivers: an "interval"
+// span plus the states/intervals counters and both interval histograms.
+void record_interval(obs::Telemetry* tel, std::size_t worker,
+                     std::uint64_t start_ns, std::uint64_t states) {
+  if (tel == nullptr) return;
+  const std::uint64_t end_ns = tel->tracer().now_ns();
+  tel->tracer().record(worker, "interval", "enumerate", start_ns,
+                       end_ns - start_ns, "states", states);
+  tel->metrics().add(tel->states, worker, states);
+  tel->metrics().add(tel->intervals, worker);
+  tel->metrics().observe(tel->interval_states, worker, states);
+  tel->metrics().observe(tel->interval_ns, worker, end_ns - start_ns);
+}
+
+}  // namespace
+
 ParamountResult enumerate_paramount(const Poset& poset,
                                     const std::vector<Interval>& intervals,
                                     const ParamountOptions& options,
                                     StateVisitor visit) {
   PM_CHECK(options.num_workers > 0);
+  obs::Telemetry* const tel = options.telemetry;
+  PM_CHECK_MSG(tel == nullptr || tel->num_shards() >= options.num_workers,
+               "telemetry needs one shard per ParaMount worker");
   ParamountResult result;
 
   if (intervals.empty()) {
@@ -41,16 +62,31 @@ ParamountResult enumerate_paramount(const Poset& poset,
   std::exception_ptr first_error;
 
   const std::size_t chunk = std::max<std::size_t>(options.chunk_size, 1);
-  auto worker = [&] {
+  auto worker = [&](std::size_t worker_index) {
     try {
       while (true) {
+        const std::uint64_t claim_ns =
+            tel != nullptr ? tel->tracer().now_ns() : 0;
         const std::size_t begin =
             next_interval.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= intervals.size()) return;
+        if (tel != nullptr) {
+          // The claim is a single fetch_add, so the "queue wait" here is the
+          // cost of the atomic itself (contrast with the streaming driver,
+          // where the cursor lock makes the wait real).
+          const std::uint64_t claimed_ns = tel->tracer().now_ns();
+          tel->metrics().add(tel->claims, worker_index);
+          tel->metrics().observe(tel->queue_wait_ns, worker_index,
+                                 claimed_ns - claim_ns);
+          tel->tracer().record(worker_index, "claim", "queue", claim_ns,
+                               claimed_ns - claim_ns, "first_interval", begin);
+        }
         const std::size_t end = std::min(begin + chunk, intervals.size());
         for (std::size_t i = begin; i < end; ++i) {
           const Interval& iv = intervals[i];
           WallTimer timer;
+          const std::uint64_t start_ns =
+              tel != nullptr ? tel->tracer().now_ns() : 0;
           std::uint64_t states = 0;
           // The empty state {0,…,0} belongs to no interval; the paper
           // assigns it to the first event of →p (Figure 6a).
@@ -63,6 +99,7 @@ ParamountResult enumerate_paramount(const Poset& poset,
               [&](const Frontier& state) { visit(state); }, options.meter);
           states += stats.states;
           total_states.fetch_add(states, std::memory_order_relaxed);
+          record_interval(tel, worker_index, start_ns, states);
           if (options.collect_interval_stats) {
             result.interval_stats[i] =
                 IntervalStat{iv.event, states, timer.elapsed_ns()};
@@ -78,14 +115,14 @@ ParamountResult enumerate_paramount(const Poset& poset,
   };
 
   if (options.num_workers == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(options.num_workers - 1);
     for (std::size_t w = 1; w < options.num_workers; ++w) {
-      workers.emplace_back(worker);
+      workers.emplace_back(worker, w);
     }
-    worker();
+    worker(0);
     for (std::thread& w : workers) w.join();
   }
 
@@ -104,6 +141,9 @@ ParamountResult enumerate_paramount_streaming(
   PM_CHECK(options.num_workers > 0);
   PM_CHECK_MSG(is_linear_extension(poset, order),
                "streaming ParaMount requires a linear extension");
+  obs::Telemetry* const tel = options.telemetry;
+  PM_CHECK_MSG(tel == nullptr || tel->num_shards() >= options.num_workers,
+               "telemetry needs one shard per ParaMount worker");
   ParamountResult result;
 
   if (order.empty()) {
@@ -128,27 +168,53 @@ ParamountResult enumerate_paramount_streaming(
     EventId id;
     Frontier gbnd;
   };
-  auto worker = [&] {
+  auto worker = [&](std::size_t worker_index) {
     try {
       std::vector<Claimed> batch;
       batch.reserve(chunk);
       while (true) {
         batch.clear();
+        const std::uint64_t request_ns =
+            tel != nullptr ? tel->tracer().now_ns() : 0;
         {
           // The paper's atomic block: fetch the next event(s) in →p and
           // snapshot the boundary frontier after each.
           std::lock_guard<std::mutex> guard(cursor_mutex);
-          while (cursor < order.size() && batch.size() < chunk) {
-            const std::size_t i = cursor++;
-            const EventId id = order[i];
-            running[id.tid] = id.index;
-            batch.push_back(Claimed{i, id, running});
+          if (tel != nullptr) {
+            // Time spent blocked on the shared cursor, then the time the
+            // Gbnd snapshot holds it — the two halves of the serial section
+            // that Theorem 3's overlap argument is about.
+            const std::uint64_t acquired_ns = tel->tracer().now_ns();
+            tel->metrics().add(tel->claims, worker_index);
+            tel->metrics().observe(tel->queue_wait_ns, worker_index,
+                                   acquired_ns - request_ns);
+            while (cursor < order.size() && batch.size() < chunk) {
+              const std::size_t i = cursor++;
+              const EventId id = order[i];
+              running[id.tid] = id.index;
+              batch.push_back(Claimed{i, id, running});
+            }
+            const std::uint64_t done_ns = tel->tracer().now_ns();
+            tel->metrics().observe(tel->gbnd_ns, worker_index,
+                                   done_ns - acquired_ns);
+            tel->tracer().record(worker_index, "gbnd_snapshot", "queue",
+                                 request_ns, done_ns - request_ns, "events",
+                                 batch.size());
+          } else {
+            while (cursor < order.size() && batch.size() < chunk) {
+              const std::size_t i = cursor++;
+              const EventId id = order[i];
+              running[id.tid] = id.index;
+              batch.push_back(Claimed{i, id, running});
+            }
           }
         }
         if (batch.empty()) return;
         for (const Claimed& claimed : batch) {
           const Frontier gmin = poset.vc(claimed.id.tid, claimed.id.index);
           WallTimer timer;
+          const std::uint64_t start_ns =
+              tel != nullptr ? tel->tracer().now_ns() : 0;
           std::uint64_t states = 0;
           if (claimed.index == 0) {
             visit(poset.empty_frontier());
@@ -159,6 +225,7 @@ ParamountResult enumerate_paramount_streaming(
               [&](const Frontier& state) { visit(state); }, options.meter);
           states += stats.states;
           total_states.fetch_add(states, std::memory_order_relaxed);
+          record_interval(tel, worker_index, start_ns, states);
           if (options.collect_interval_stats) {
             result.interval_stats[claimed.index] =
                 IntervalStat{claimed.id, states, timer.elapsed_ns()};
@@ -174,14 +241,14 @@ ParamountResult enumerate_paramount_streaming(
   };
 
   if (options.num_workers == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(options.num_workers - 1);
     for (std::size_t w = 1; w < options.num_workers; ++w) {
-      workers.emplace_back(worker);
+      workers.emplace_back(worker, w);
     }
-    worker();
+    worker(0);
     for (std::thread& w : workers) w.join();
   }
 

@@ -15,6 +15,7 @@
 
 #include "core/interval.hpp"
 #include "enumeration/dispatch.hpp"
+#include "obs/telemetry.hpp"
 #include "poset/topo_sort.hpp"
 
 namespace paramount {
@@ -34,6 +35,12 @@ struct ParamountOptions {
   // When true, per-interval state counts and wall times are recorded; used
   // by the speedup benches to feed the schedule simulator.
   bool collect_interval_stats = false;
+  // Optional telemetry sink (see src/obs/). Must have at least `num_workers`
+  // shards; worker w writes only shard w. Per interval the drivers record an
+  // "interval" span plus states/intervals counters and the interval-size and
+  // interval-time histograms; the streaming driver additionally records
+  // cursor queue-wait and Gbnd-snapshot timings.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct IntervalStat {

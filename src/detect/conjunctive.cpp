@@ -19,10 +19,28 @@ bool advance_to_satisfying(const Poset& poset, LocalPredicate& predicate,
 }  // namespace
 
 ConjunctiveResult detect_conjunctive(const Poset& poset,
-                                     LocalPredicate predicate) {
+                                     LocalPredicate predicate,
+                                     obs::Telemetry* telemetry,
+                                     std::size_t shard) {
   const std::size_t n = poset.num_threads();
   ConjunctiveResult result;
   result.cut = Frontier(n);
+  // Single span over the whole detection; per-event work is accounted in one
+  // counter add at the end so the elimination loop stays untouched.
+  obs::TraceSpan span(telemetry != nullptr ? &telemetry->tracer() : nullptr,
+                      shard, "conjunctive", "detect", "events_examined");
+  struct Account {
+    obs::Telemetry* telemetry;
+    std::size_t shard;
+    const ConjunctiveResult& result;
+    obs::TraceSpan& span;
+    ~Account() {
+      if (telemetry == nullptr) return;
+      span.set_arg(result.events_examined);
+      telemetry->metrics().add(telemetry->predicate_evals, shard,
+                               result.events_examined);
+    }
+  } account{telemetry, shard, result, span};
 
   // Current candidate (first satisfying event) per thread.
   std::vector<EventIndex> candidate(n, 1);

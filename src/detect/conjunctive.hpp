@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "poset/poset.hpp"
 #include "util/function_ref.hpp"
 
@@ -39,8 +40,12 @@ struct ConjunctiveResult {
 };
 
 // Finds the least consistent global state in which every thread's frontier
-// event satisfies its local predicate, or reports absence.
+// event satisfies its local predicate, or reports absence. With telemetry
+// attached, records a "conjunctive" span and the predicate-evaluation count
+// on `shard` (the detector is single-threaded).
 ConjunctiveResult detect_conjunctive(const Poset& poset,
-                                     LocalPredicate predicate);
+                                     LocalPredicate predicate,
+                                     obs::Telemetry* telemetry = nullptr,
+                                     std::size_t shard = 0);
 
 }  // namespace paramount

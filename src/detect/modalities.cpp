@@ -11,7 +11,8 @@
 namespace paramount {
 
 ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
-                               std::size_t num_workers) {
+                               std::size_t num_workers,
+                               obs::Telemetry* telemetry) {
   ModalityResult result;
   result.witness = poset.empty_frontier();
 
@@ -20,8 +21,12 @@ ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
   std::mutex witness_mutex;
   Frontier witness = poset.empty_frontier();
 
+  obs::TraceSpan span(telemetry != nullptr ? &telemetry->tracer() : nullptr,
+                      0, "possibly", "detect", "predicate_evals");
+
   ParamountOptions options;
   options.num_workers = num_workers;
+  options.telemetry = telemetry;
   enumerate_paramount(poset, options, [&](const Frontier& state) {
     // No early-exit hook in the driver: once found, skip the (possibly
     // expensive) predicate and fall through cheaply.
@@ -38,6 +43,11 @@ ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
   result.holds = found.load();
   result.states_explored = explored.load();
   if (result.holds) result.witness = witness;
+  if (telemetry != nullptr) {
+    span.set_arg(result.states_explored);
+    telemetry->metrics().add(telemetry->predicate_evals, 0,
+                             result.states_explored);
+  }
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/telemetry.hpp"
 #include "poset/poset.hpp"
 #include "util/function_ref.hpp"
 
@@ -34,9 +35,12 @@ struct ModalityResult {
 };
 
 // possibly(φ): scans consistent states (short-circuiting) for a φ-state.
-// `num_workers > 1` partitions the scan with ParaMount.
+// `num_workers > 1` partitions the scan with ParaMount. `telemetry` is
+// forwarded to the underlying ParaMount driver (needs >= num_workers
+// shards); the predicate-evaluation total is credited to shard 0.
 ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
-                               std::size_t num_workers = 1);
+                               std::size_t num_workers = 1,
+                               obs::Telemetry* telemetry = nullptr);
 
 // definitely(φ): true iff every maximal path of the lattice hits a φ-state.
 // Runs a BFS over ¬φ-states only; memory is proportional to the widest

@@ -8,9 +8,13 @@ namespace paramount {
 OfflineDetectionStats detect_races_offline_bfs(const Poset& poset,
                                                const AccessTable& accesses,
                                                RaceReport& report,
-                                               std::uint64_t budget_bytes) {
+                                               std::uint64_t budget_bytes,
+                                               obs::Telemetry* telemetry,
+                                               std::size_t shard) {
   OfflineDetectionStats stats;
   MemoryMeter meter(budget_bytes);
+  obs::TraceSpan span(telemetry != nullptr ? &telemetry->tracer() : nullptr,
+                      shard, "offline_bfs", "detect", "states");
   try {
     enumerate_bfs(
         poset,
@@ -23,6 +27,14 @@ OfflineDetectionStats detect_races_offline_bfs(const Poset& poset,
     stats.out_of_memory = true;
   }
   stats.peak_bytes = meter.peak_bytes();
+  if (telemetry != nullptr) {
+    span.set_arg(stats.states_enumerated);
+    telemetry->metrics().add(telemetry->states, shard,
+                             stats.states_enumerated);
+    // One all-pairs race check per enumerated state.
+    telemetry->metrics().add(telemetry->predicate_evals, shard,
+                             stats.states_enumerated);
+  }
   return stats;
 }
 

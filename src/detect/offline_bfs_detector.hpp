@@ -10,6 +10,7 @@
 #pragma once
 
 #include "detect/race_report.hpp"
+#include "obs/telemetry.hpp"
 #include "poset/poset.hpp"
 #include "util/mem_meter.hpp"
 
@@ -24,9 +25,11 @@ struct OfflineDetectionStats {
 // Runs BFS enumeration over the recorded poset, checking all frontier pairs
 // of every state; detections accumulate into `report`. `budget_bytes`
 // bounds the enumerator's working set (MemoryMeter::kUnlimited disables the
-// bound).
+// bound). With telemetry attached, an "offline_bfs" span plus the states and
+// predicate-evaluation counters land on `shard` (the pass is sequential).
 OfflineDetectionStats detect_races_offline_bfs(
     const Poset& poset, const AccessTable& accesses, RaceReport& report,
-    std::uint64_t budget_bytes = MemoryMeter::kUnlimited);
+    std::uint64_t budget_bytes = MemoryMeter::kUnlimited,
+    obs::Telemetry* telemetry = nullptr, std::size_t shard = 0);
 
 }  // namespace paramount

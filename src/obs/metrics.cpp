@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json_writer.hpp"
+
+namespace paramount::obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double upto = static_cast<double>(below + buckets[b]);
+    if (upto >= target) {
+      const auto lo = static_cast<double>(bucket_lo(b));
+      const auto hi = static_cast<double>(bucket_hi(b));
+      const double frac =
+          (target - static_cast<double>(below)) / static_cast<double>(buckets[b]);
+      return lo + frac * (hi - lo);
+    }
+    below += buckets[b];
+  }
+  return static_cast<double>(bucket_hi(kHistogramBuckets - 1));
+}
+
+namespace {
+
+const CounterSnapshot* find_by_name(const std::vector<CounterSnapshot>& v,
+                                    const std::string& name) {
+  for (const CounterSnapshot& c : v) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void write_counter_array(JsonWriter& w, const char* key,
+                         const std::vector<CounterSnapshot>& v) {
+  w.key(key).begin_array();
+  for (const CounterSnapshot& c : v) {
+    w.begin_object();
+    w.key("name").value(c.name);
+    w.key("total").value(c.total);
+    w.key("per_shard").begin_array();
+    for (std::uint64_t s : c.per_shard) w.value(s);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::find_counter(
+    const std::string& name) const {
+  return find_by_name(counters, name);
+}
+
+const CounterSnapshot* MetricsSnapshot::find_gauge(
+    const std::string& name) const {
+  return find_by_name(gauges, name);
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("num_shards").value(static_cast<std::uint64_t>(num_shards));
+  write_counter_array(w, "counters", counters);
+  write_counter_array(w, "gauges", gauges);
+  w.key("histograms").begin_array();
+  for (const HistogramSnapshot& h : histograms) {
+    w.begin_object();
+    w.key("name").value(h.name);
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    if (h.count > 0) {
+      w.key("mean").value(h.mean());
+      w.key("p50").value(h.quantile(0.50));
+      w.key("p90").value(h.quantile(0.90));
+      w.key("p99").value(h.quantile(0.99));
+    }
+    // Only non-empty buckets, as [lo, hi, count] triples.
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      w.begin_array();
+      w.value(HistogramSnapshot::bucket_lo(b));
+      w.value(HistogramSnapshot::bucket_hi(b));
+      w.value(h.buckets[b]);
+      w.end_array();
+    }
+    w.end_array();
+    w.key("per_shard_count").begin_array();
+    for (std::uint64_t c : h.per_shard_count) w.value(c);
+    w.end_array();
+    w.key("per_shard_sum").begin_array();
+    for (std::uint64_t s : h.per_shard_sum) w.value(s);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).take();
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t num_shards)
+    : num_shards_(num_shards), shards_(new Shard[num_shards]()) {
+  PM_CHECK(num_shards > 0);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    for (std::size_t c = 0; c < kCellsPerShard; ++c) {
+      shards_[s].cells[c].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricId MetricsRegistry::register_metric(const std::string& name, Kind kind,
+                                          std::size_t cells) {
+  std::lock_guard<std::mutex> guard(registration_mutex_);
+  for (const MetricInfo& m : metrics_) {
+    if (m.name == name) {
+      PM_CHECK_MSG(m.kind == kind, "metric re-registered with another kind");
+      return m.first_cell;
+    }
+  }
+  PM_CHECK_MSG(next_cell_ + cells <= kCellsPerShard,
+               "metrics registry shard capacity exhausted");
+  const auto id = static_cast<MetricId>(next_cell_);
+  next_cell_ += cells;
+  metrics_.push_back(MetricInfo{name, kind, id});
+  return id;
+}
+
+MetricId MetricsRegistry::counter(const std::string& name) {
+  return register_metric(name, Kind::kCounter, 1);
+}
+
+MetricId MetricsRegistry::gauge(const std::string& name) {
+  return register_metric(name, Kind::kGauge, 1);
+}
+
+MetricId MetricsRegistry::histogram(const std::string& name) {
+  return register_metric(name, Kind::kHistogram, kHistogramBuckets + 2);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::vector<MetricInfo> metrics;
+  {
+    std::lock_guard<std::mutex> guard(registration_mutex_);
+    metrics = metrics_;
+  }
+  MetricsSnapshot snap;
+  snap.num_shards = num_shards_;
+  for (const MetricInfo& m : metrics) {
+    switch (m.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge: {
+        CounterSnapshot c;
+        c.name = m.name;
+        c.per_shard.resize(num_shards_);
+        for (std::size_t s = 0; s < num_shards_; ++s) {
+          c.per_shard[s] =
+              cell(m.first_cell, s).load(std::memory_order_relaxed);
+          c.total += c.per_shard[s];
+        }
+        (m.kind == Kind::kCounter ? snap.counters : snap.gauges)
+            .push_back(std::move(c));
+        break;
+      }
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.name = m.name;
+        h.per_shard_count.resize(num_shards_);
+        h.per_shard_sum.resize(num_shards_);
+        for (std::size_t s = 0; s < num_shards_; ++s) {
+          for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            h.buckets[b] += cell(m.first_cell + static_cast<MetricId>(b), s)
+                                .load(std::memory_order_relaxed);
+          }
+          h.per_shard_count[s] =
+              cell(m.first_cell + kHistogramBuckets, s)
+                  .load(std::memory_order_relaxed);
+          h.per_shard_sum[s] =
+              cell(m.first_cell + kHistogramBuckets + 1, s)
+                  .load(std::memory_order_relaxed);
+          h.count += h.per_shard_count[s];
+          h.sum += h.per_shard_sum[s];
+        }
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+}  // namespace paramount::obs

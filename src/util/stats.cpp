@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "util/check.hpp"
@@ -31,7 +32,10 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> samples, double q) {
-  PM_CHECK(!samples.empty());
+  // An empty sample set is a caller-visible "no data" condition (e.g. a bench
+  // configuration that produced zero rows), not a programming error: report
+  // NaN instead of aborting the process.
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
   PM_CHECK(q >= 0.0 && q <= 1.0);
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples[0];

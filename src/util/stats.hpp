@@ -3,12 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace paramount {
 
-// Welford's online mean/variance plus min/max.
+// Welford's online mean/variance plus min/max. min()/max() are NaN until the
+// first add() so an empty accumulator is distinguishable from one that saw 0.
 class RunningStats {
  public:
   void add(double x);
@@ -26,11 +28,12 @@ class RunningStats {
   double mean_ = 0.0;
   double m2_ = 0.0;
   double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::quiet_NaN();
+  double max_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 // Percentile of a sample set by linear interpolation; q in [0, 1].
+// NaN on an empty sample set.
 double percentile(std::vector<double> samples, double q);
 
 // Human-readable formatting helpers shared by the bench tables.

@@ -6,11 +6,20 @@
 
 namespace paramount {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+namespace {
+thread_local std::size_t tls_pool_worker_index = ThreadPool::npos;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, obs::Telemetry* telemetry,
+                       std::size_t shard_base)
+    : telemetry_(telemetry), shard_base_(shard_base) {
   PM_CHECK(num_threads > 0);
+  PM_CHECK_MSG(telemetry == nullptr ||
+                   telemetry->num_shards() >= shard_base + num_threads,
+               "telemetry needs one shard per pool worker");
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -23,11 +32,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::current_worker_index() {
+  return tls_pool_worker_index;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  Task entry{std::move(task), 0};
+  if (telemetry_ != nullptr) {
+    entry.enqueue_ns = telemetry_->tracer().now_ns();
+  }
   {
     std::lock_guard<std::mutex> guard(mutex_);
     PM_CHECK_MSG(!shutting_down_, "submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
   }
   work_available_.notify_one();
 }
@@ -37,7 +54,8 @@ void ThreadPool::wait_idle() {
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  tls_pool_worker_index = worker_index;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     work_available_.wait(lock,
@@ -46,11 +64,22 @@ void ThreadPool::worker_loop() {
       // shutting down
       return;
     }
-    std::function<void()> task = std::move(queue_.front());
+    Task task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
     lock.unlock();
-    task();
+    if (telemetry_ != nullptr) {
+      const std::size_t shard = shard_base_ + worker_index;
+      const std::uint64_t start = telemetry_->tracer().now_ns();
+      telemetry_->metrics().observe(telemetry_->queue_wait_ns, shard,
+                                    start - task.enqueue_ns);
+      telemetry_->metrics().add(telemetry_->pool_tasks, shard);
+      task.fn();
+      telemetry_->tracer().record(shard, "task", "pool", start,
+                                  telemetry_->tracer().now_ns() - start);
+    } else {
+      task.fn();
+    }
     lock.lock();
     --active_;
     if (queue_.empty() && active_ == 0) all_idle_.notify_all();

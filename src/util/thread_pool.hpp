@@ -4,21 +4,36 @@
 // by benchmark harnesses. The pool is deliberately simple — a mutex-guarded
 // queue matches the paper's Algorithm 1, where workers fetch the next event
 // in the shared total order →p.
+//
+// When a Telemetry bundle is attached, each worker records how long every
+// task sat in the queue (pool.queue_wait_ns histogram, sharded by worker
+// index), counts executed tasks (pool.tasks), and emits a "task" span per
+// execution — enough to see queue backlog and worker idleness in Perfetto.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace paramount {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads);
+  // `telemetry` (optional) must outlive the pool and have at least
+  // `shard_base + num_threads` shards; pool worker w writes only shard
+  // `shard_base + w`. A non-zero base lets an owner that also reports on its
+  // own threads (e.g. OnlineParamount's submitters) keep shard writers
+  // disjoint.
+  explicit ThreadPool(std::size_t num_threads,
+                      obs::Telemetry* telemetry = nullptr,
+                      std::size_t shard_base = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,13 +47,26 @@ class ThreadPool {
   // Blocks until the queue is empty and every worker is idle.
   void wait_idle();
 
- private:
-  void worker_loop();
+  // Index of the pool worker running the calling thread, or `npos` when the
+  // caller is not a pool worker. Lets pooled tasks pick their telemetry
+  // shard without threading the index through std::function.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static std::size_t current_worker_index();
 
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;  // tracer timestamp; 0 if untracked
+  };
+
+  void worker_loop(std::size_t worker_index);
+
+  obs::Telemetry* telemetry_;
+  std::size_t shard_base_ = 0;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::size_t active_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <string>
 
@@ -85,6 +86,20 @@ TEST(Stats, VarianceOfSingleSampleIsZero) {
   RunningStats s;
   s.add(42.0);
   EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, EmptyRunningStatsMinMaxAreNaN) {
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(0.0);  // 0 must now be reported, not confused with "empty"
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Stats, PercentileOfEmptySampleIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0.0)));
 }
 
 TEST(Stats, PercentileInterpolates) {

@@ -9,12 +9,23 @@
 //   paramount --input=trace.poset --mode=print --algorithm=lexical
 //   paramount --input=trace.poset --mode=intervals
 //   paramount --generate-events=300 --mode=conjunctive --modulus=3
+//
+// Observability (see README "Observability"): count mode prints a per-worker
+// summary table and can export machine-readable metrics and a Chrome trace:
+//   paramount --generate-events=300 --mode=count --workers=8
+//       --metrics-json=metrics.json --trace-out=trace.json
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <string>
 
 #include "core/paramount.hpp"
 #include "detect/conjunctive.hpp"
+#include "obs/telemetry.hpp"
 #include "poset/lattice.hpp"
 #include "poset/poset_io.hpp"
+#include "poset/topo_sort.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -41,21 +52,124 @@ TopoPolicy parse_policy(const std::string& name) {
   std::exit(2);
 }
 
+std::string format_ns(double ns) {
+  if (std::isnan(ns)) return "-";
+  return format_seconds(ns * 1e-9);
+}
+
+// Per-worker summary plus the interval-size histogram, from one snapshot.
+void print_telemetry_summary(const obs::Telemetry& telemetry,
+                             double elapsed_seconds) {
+  const obs::MetricsSnapshot snap = telemetry.snapshot();
+  const obs::CounterSnapshot* states = snap.find_counter("paramount.states");
+  const obs::CounterSnapshot* intervals =
+      snap.find_counter("paramount.intervals");
+  const obs::HistogramSnapshot* queue_wait =
+      snap.find_histogram("pool.queue_wait_ns");
+  const obs::HistogramSnapshot* sizes =
+      snap.find_histogram("paramount.interval_states");
+  if (states == nullptr || intervals == nullptr || queue_wait == nullptr ||
+      sizes == nullptr) {
+    return;
+  }
+
+  Table workers({"worker", "states", "intervals", "states/s", "queue-wait"});
+  for (std::size_t w = 0; w < snap.num_shards; ++w) {
+    const double wait_mean =
+        queue_wait->per_shard_count[w] == 0
+            ? std::numeric_limits<double>::quiet_NaN()
+            : static_cast<double>(queue_wait->per_shard_sum[w]) /
+                  static_cast<double>(queue_wait->per_shard_count[w]);
+    workers.add_row(
+        {std::to_string(w), format_count(states->per_shard[w]),
+         format_count(intervals->per_shard[w]),
+         format_si(static_cast<double>(states->per_shard[w]) /
+                   elapsed_seconds),
+         format_ns(wait_mean)});
+  }
+  workers.add_separator();
+  workers.add_row({"all", format_count(states->total),
+                   format_count(intervals->total),
+                   format_si(static_cast<double>(states->total) /
+                             elapsed_seconds),
+                   format_ns(queue_wait->quantile(0.5))});
+  std::printf("\nper-worker telemetry:\n%s", workers.render().c_str());
+
+  std::printf("\ninterval size histogram (states per interval):\n");
+  Table histogram({"range", "intervals", ""});
+  std::uint64_t largest = 1;
+  for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+    largest = std::max(largest, sizes->buckets[b]);
+  }
+  for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+    if (sizes->buckets[b] == 0) continue;
+    const std::uint64_t lo = obs::HistogramSnapshot::bucket_lo(b);
+    const std::uint64_t hi = obs::HistogramSnapshot::bucket_hi(b);
+    const auto bar_len = static_cast<std::size_t>(
+        40.0 * static_cast<double>(sizes->buckets[b]) /
+        static_cast<double>(largest));
+    histogram.add_row({"[" + format_count(lo) + ", " + format_count(hi) + ")",
+                       format_count(sizes->buckets[b]),
+                       std::string(std::max<std::size_t>(bar_len, 1), '#')});
+  }
+  std::fputs(histogram.render().c_str(), stdout);
+}
+
 int run_count(const Poset& poset, const CliFlags& flags) {
   ParamountOptions options;
   options.num_workers = static_cast<std::size_t>(flags.get_int("workers"));
   options.subroutine = parse_algorithm(flags.get_string("algorithm"));
   options.topo_policy = parse_policy(flags.get_string("order"));
+  const bool streaming = flags.get_bool("streaming");
+
+  obs::Telemetry telemetry(options.num_workers);
+  options.telemetry = &telemetry;
+
   WallTimer timer;
-  const ParamountResult result =
-      enumerate_paramount(poset, options, [](const Frontier&) {});
+  ParamountResult result;
+  if (streaming) {
+    const auto order =
+        topological_sort(poset, options.topo_policy, options.seed);
+    result = enumerate_paramount_streaming(poset, order, options,
+                                           [](const Frontier&) {});
+  } else {
+    result = enumerate_paramount(poset, options, [](const Frontier&) {});
+  }
+  const double elapsed = timer.elapsed_seconds();
+
   std::printf("consistent global states: %s\n",
               format_count(result.states).c_str());
-  std::printf("algorithm: ParaMount(%s, %zu workers, %s order), %s\n",
+  std::printf("algorithm: ParaMount(%s, %zu workers, %s order%s), %s\n",
               to_string(options.subroutine), options.num_workers,
-              to_string(options.topo_policy),
-              format_seconds(timer.elapsed_seconds()).c_str());
-  return 0;
+              to_string(options.topo_policy), streaming ? ", streaming" : "",
+              format_seconds(elapsed).c_str());
+
+  if constexpr (obs::kTelemetryEnabled) {
+    print_telemetry_summary(telemetry, elapsed);
+  } else {
+    std::printf("(telemetry compiled out: PARAMOUNT_NO_TELEMETRY)\n");
+  }
+  int status = 0;
+  const std::string metrics_path = flags.get_string("metrics-json");
+  if (!metrics_path.empty()) {
+    if (telemetry.write_metrics_json(metrics_path)) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  const std::string trace_path = flags.get_string("trace-out");
+  if (!trace_path.empty()) {
+    if (telemetry.write_chrome_trace(trace_path)) {
+      std::printf(
+          "trace written to %s (open in ui.perfetto.dev or "
+          "chrome://tracing)\n",
+          trace_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  return status;
 }
 
 int run_print(const Poset& poset, const CliFlags& flags) {
@@ -129,6 +243,12 @@ int main(int argc, char** argv) {
   flags.add_string("order", "interleave",
                    "interleave | thread-major | random");
   flags.add_int("workers", 4, "ParaMount workers for count mode");
+  flags.add_bool("streaming", false,
+                 "count mode: use the streaming driver (real queue waits)");
+  flags.add_string("metrics-json", "",
+                   "count mode: write a metrics snapshot (JSON) here");
+  flags.add_string("trace-out", "",
+                   "count mode: write a Chrome trace_event JSON here");
   flags.add_int("limit", 50, "max states/intervals to print");
   flags.add_int("modulus", 3, "conjunctive mode: index % modulus == 0");
   flags.add_string("save", "", "also save the poset to this file");
