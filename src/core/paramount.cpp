@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "util/timer.hpp"
+#include "util/work_stealing.hpp"
 
 namespace paramount {
 
@@ -34,6 +37,53 @@ void record_interval(obs::Telemetry* tel, std::size_t worker,
   tel->metrics().observe(tel->interval_ns, worker, end_ns - start_ns);
 }
 
+// One work acquisition (counter claim, deque pop, or steal): the claims
+// counter plus the queue-wait histogram. `seek_ns` is when the work was
+// first sought or became claimable, so the wait covers both lock/counter
+// latency and any time the item spent parked in a deque or batch.
+void record_claim(obs::Telemetry* tel, std::size_t worker,
+                  std::uint64_t seek_ns, const char* arg_name,
+                  std::uint64_t arg_value) {
+  if (tel == nullptr) return;
+  const std::uint64_t got_ns = tel->tracer().now_ns();
+  tel->metrics().add(tel->claims, worker);
+  tel->metrics().observe(tel->queue_wait_ns, worker, got_ns - seek_ns);
+  tel->tracer().record(worker, "claim", "queue", seek_ns, got_ns - seek_ns,
+                       arg_name, arg_value);
+}
+
+// Outcome of one steal sweep: failed probes always count toward
+// pool.steal_fail; a successful sweep also bumps pool.steals and emits a
+// "steal" span covering the whole sweep.
+void record_steal(obs::Telemetry* tel, std::size_t worker,
+                  std::uint64_t sweep_start_ns, bool success,
+                  std::uint64_t failed_probes) {
+  if (tel == nullptr) return;
+  if (failed_probes > 0) {
+    tel->metrics().add(tel->steal_fail, worker, failed_probes);
+  }
+  if (success) {
+    tel->metrics().add(tel->steals, worker);
+    tel->tracer().record(worker, "steal", "queue", sweep_start_ns,
+                         tel->tracer().now_ns() - sweep_start_ns,
+                         "failed_probes", failed_probes);
+  }
+}
+
+// Runs `worker(index)` on num_workers threads, index 0 on the caller.
+template <typename Worker>
+void run_workers(std::size_t num_workers, const Worker& worker) {
+  if (num_workers == 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers - 1);
+  for (std::size_t w = 1; w < num_workers; ++w) threads.emplace_back(worker, w);
+  worker(0);
+  for (std::thread& t : threads) t.join();
+}
+
 }  // namespace
 
 ParamountResult enumerate_paramount(const Poset& poset,
@@ -57,73 +107,109 @@ ParamountResult enumerate_paramount(const Poset& poset,
   }
 
   std::atomic<std::uint64_t> total_states{0};
-  std::atomic<std::size_t> next_interval{0};
+  std::atomic<bool> abort_flag{false};
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
   const std::size_t chunk = std::max<std::size_t>(options.chunk_size, 1);
-  auto worker = [&](std::size_t worker_index) {
-    try {
-      while (true) {
-        const std::uint64_t claim_ns =
-            tel != nullptr ? tel->tracer().now_ns() : 0;
-        const std::size_t begin =
-            next_interval.fetch_add(chunk, std::memory_order_relaxed);
-        if (begin >= intervals.size()) return;
-        if (tel != nullptr) {
-          // The claim is a single fetch_add, so the "queue wait" here is the
-          // cost of the atomic itself (contrast with the streaming driver,
-          // where the cursor lock makes the wait real).
-          const std::uint64_t claimed_ns = tel->tracer().now_ns();
-          tel->metrics().add(tel->claims, worker_index);
-          tel->metrics().observe(tel->queue_wait_ns, worker_index,
-                                 claimed_ns - claim_ns);
-          tel->tracer().record(worker_index, "claim", "queue", claim_ns,
-                               claimed_ns - claim_ns, "first_interval", begin);
-        }
-        const std::size_t end = std::min(begin + chunk, intervals.size());
-        for (std::size_t i = begin; i < end; ++i) {
-          const Interval& iv = intervals[i];
-          WallTimer timer;
-          const std::uint64_t start_ns =
-              tel != nullptr ? tel->tracer().now_ns() : 0;
-          std::uint64_t states = 0;
-          // The empty state {0,…,0} belongs to no interval; the paper
-          // assigns it to the first event of →p (Figure 6a).
-          if (i == 0) {
-            visit(poset.empty_frontier());
-            ++states;
-          }
-          const EnumStats stats = enumerate_box(
-              options.subroutine, poset, iv.gmin, iv.gbnd,
-              [&](const Frontier& state) { visit(state); }, options.meter);
-          states += stats.states;
-          total_states.fetch_add(states, std::memory_order_relaxed);
-          record_interval(tel, worker_index, start_ns, states);
-          if (options.collect_interval_stats) {
-            result.interval_stats[i] =
-                IntervalStat{iv.event, states, timer.elapsed_ns()};
-          }
-        }
-      }
-    } catch (...) {
-      std::lock_guard<std::mutex> guard(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-      // Drain remaining intervals so sibling workers stop quickly.
-      next_interval.store(intervals.size(), std::memory_order_relaxed);
+
+  auto process_interval = [&](std::size_t i, std::size_t worker_index) {
+    const Interval& iv = intervals[i];
+    WallTimer timer;
+    const std::uint64_t start_ns = tel != nullptr ? tel->tracer().now_ns() : 0;
+    std::uint64_t states = 0;
+    // The empty state {0,…,0} belongs to no interval; the paper assigns it
+    // to the first event of →p (Figure 6a).
+    if (i == 0) {
+      visit(poset.empty_frontier());
+      ++states;
+    }
+    const EnumStats stats = enumerate_box(
+        options.subroutine, poset, iv.gmin, iv.gbnd,
+        [&](const Frontier& state) { visit(state); }, options.meter);
+    states += stats.states;
+    total_states.fetch_add(states, std::memory_order_relaxed);
+    record_interval(tel, worker_index, start_ns, states);
+    if (options.collect_interval_stats) {
+      result.interval_stats[i] = IntervalStat{iv.event, states,
+                                              timer.elapsed_ns()};
     }
   };
 
-  if (options.num_workers == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(options.num_workers - 1);
-    for (std::size_t w = 1; w < options.num_workers; ++w) {
-      workers.emplace_back(worker, w);
+  auto fail = [&](std::exception_ptr error) {
+    std::lock_guard<std::mutex> guard(error_mutex);
+    if (!first_error) first_error = std::move(error);
+    abort_flag.store(true, std::memory_order_relaxed);
+  };
+
+  if (options.steal) {
+    // Work-stealing path: the chunks are dealt round-robin into per-worker
+    // deques up front; each worker drains its own deque and steals once
+    // empty. No shared claim point — the deque owner's pop is uncontended.
+    const std::size_t num_chunks = (intervals.size() + chunk - 1) / chunk;
+    WorkStealingScheduler<std::size_t> scheduler(
+        options.num_workers, options.seed,
+        /*initial_capacity=*/num_chunks / options.num_workers + 1);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      scheduler.push(c % options.num_workers, c * chunk);
     }
-    worker(0);
-    for (std::thread& w : workers) w.join();
+
+    auto worker = [&](std::size_t worker_index) {
+      try {
+        while (!abort_flag.load(std::memory_order_relaxed)) {
+          const std::uint64_t seek_ns =
+              tel != nullptr ? tel->tracer().now_ns() : 0;
+          std::size_t begin;
+          if (!scheduler.pop(worker_index, begin)) {
+            std::uint64_t failed_probes = 0;
+            const bool stole =
+                scheduler.steal(worker_index, begin, &failed_probes);
+            record_steal(tel, worker_index, seek_ns, stole, failed_probes);
+            // A failed sweep is definitive here: nothing is pushed after
+            // the initial deal, and every deque's residue is drained by
+            // its owner.
+            if (!stole) return;
+          }
+          record_claim(tel, worker_index, seek_ns, "first_interval", begin);
+          const std::size_t end = std::min(begin + chunk, intervals.size());
+          for (std::size_t i = begin; i < end; ++i) {
+            // A sibling may have failed mid-chunk; don't run the rest of a
+            // large chunk to completion against a doomed result.
+            if (abort_flag.load(std::memory_order_relaxed)) return;
+            process_interval(i, worker_index);
+          }
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+    };
+    run_workers(options.num_workers, worker);
+  } else {
+    // Shared-counter path (the PR-1 scheduler, kept for A/B benching):
+    // every claim is a fetch_add on one cache line.
+    std::atomic<std::size_t> next_interval{0};
+    auto worker = [&](std::size_t worker_index) {
+      try {
+        while (!abort_flag.load(std::memory_order_relaxed)) {
+          const std::uint64_t seek_ns =
+              tel != nullptr ? tel->tracer().now_ns() : 0;
+          const std::size_t begin =
+              next_interval.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= intervals.size()) return;
+          record_claim(tel, worker_index, seek_ns, "first_interval", begin);
+          const std::size_t end = std::min(begin + chunk, intervals.size());
+          for (std::size_t i = begin; i < end; ++i) {
+            if (abort_flag.load(std::memory_order_relaxed)) return;
+            process_interval(i, worker_index);
+          }
+        }
+      } catch (...) {
+        fail(std::current_exception());
+        // Drain remaining intervals so sibling workers stop quickly.
+        next_interval.store(intervals.size(), std::memory_order_relaxed);
+      }
+    };
+    run_workers(options.num_workers, worker);
   }
 
   if (first_error) std::rethrow_exception(first_error);
@@ -159,6 +245,7 @@ ParamountResult enumerate_paramount_streaming(
   std::mutex cursor_mutex;
   std::size_t cursor = 0;
   Frontier running = poset.empty_frontier();  // guarded by cursor_mutex
+  std::atomic<bool> abort_flag{false};
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
@@ -167,89 +254,175 @@ ParamountResult enumerate_paramount_streaming(
     std::size_t index;
     EventId id;
     Frontier gbnd;
+    // Tracer timestamp of the seek that claimed this event from the cursor
+    // (0 when telemetry is off). queue_wait_ns measures from here to the
+    // start of processing, so work that sits in a deque — or, on the
+    // no-steal path, behind a slow batch-mate — shows up as wait.
+    std::uint64_t ready_ns;
   };
-  auto worker = [&](std::size_t worker_index) {
-    try {
-      std::vector<Claimed> batch;
-      batch.reserve(chunk);
-      while (true) {
-        batch.clear();
-        const std::uint64_t request_ns =
-            tel != nullptr ? tel->tracer().now_ns() : 0;
-        {
-          // The paper's atomic block: fetch the next event(s) in →p and
-          // snapshot the boundary frontier after each.
-          std::lock_guard<std::mutex> guard(cursor_mutex);
-          if (tel != nullptr) {
-            // Time spent blocked on the shared cursor, then the time the
-            // Gbnd snapshot holds it — the two halves of the serial section
-            // that Theorem 3's overlap argument is about.
-            const std::uint64_t acquired_ns = tel->tracer().now_ns();
-            tel->metrics().add(tel->claims, worker_index);
-            tel->metrics().observe(tel->queue_wait_ns, worker_index,
-                                   acquired_ns - request_ns);
-            while (cursor < order.size() && batch.size() < chunk) {
-              const std::size_t i = cursor++;
-              const EventId id = order[i];
-              running[id.tid] = id.index;
-              batch.push_back(Claimed{i, id, running});
-            }
-            const std::uint64_t done_ns = tel->tracer().now_ns();
-            tel->metrics().observe(tel->gbnd_ns, worker_index,
-                                   done_ns - acquired_ns);
-            tel->tracer().record(worker_index, "gbnd_snapshot", "queue",
-                                 request_ns, done_ns - request_ns, "events",
-                                 batch.size());
-          } else {
-            while (cursor < order.size() && batch.size() < chunk) {
-              const std::size_t i = cursor++;
-              const EventId id = order[i];
-              running[id.tid] = id.index;
-              batch.push_back(Claimed{i, id, running});
-            }
-          }
-        }
-        if (batch.empty()) return;
-        for (const Claimed& claimed : batch) {
-          const Frontier gmin = poset.vc(claimed.id.tid, claimed.id.index);
-          WallTimer timer;
-          const std::uint64_t start_ns =
-              tel != nullptr ? tel->tracer().now_ns() : 0;
-          std::uint64_t states = 0;
-          if (claimed.index == 0) {
-            visit(poset.empty_frontier());
-            ++states;
-          }
-          const EnumStats stats = enumerate_box(
-              options.subroutine, poset, gmin, claimed.gbnd,
-              [&](const Frontier& state) { visit(state); }, options.meter);
-          states += stats.states;
-          total_states.fetch_add(states, std::memory_order_relaxed);
-          record_interval(tel, worker_index, start_ns, states);
-          if (options.collect_interval_stats) {
-            result.interval_stats[claimed.index] =
-                IntervalStat{claimed.id, states, timer.elapsed_ns()};
-          }
-        }
-      }
-    } catch (...) {
-      std::lock_guard<std::mutex> guard(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-      std::lock_guard<std::mutex> cursor_guard(cursor_mutex);
-      cursor = order.size();
+
+  auto process_item = [&](const Claimed& claimed, std::size_t worker_index) {
+    const Frontier gmin = poset.vc(claimed.id.tid, claimed.id.index);
+    WallTimer timer;
+    const std::uint64_t start_ns = tel != nullptr ? tel->tracer().now_ns() : 0;
+    std::uint64_t states = 0;
+    if (claimed.index == 0) {
+      visit(poset.empty_frontier());
+      ++states;
+    }
+    const EnumStats stats = enumerate_box(
+        options.subroutine, poset, gmin, claimed.gbnd,
+        [&](const Frontier& state) { visit(state); }, options.meter);
+    states += stats.states;
+    total_states.fetch_add(states, std::memory_order_relaxed);
+    record_interval(tel, worker_index, start_ns, states);
+    if (options.collect_interval_stats) {
+      result.interval_stats[claimed.index] =
+          IntervalStat{claimed.id, states, timer.elapsed_ns()};
     }
   };
 
-  if (options.num_workers == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(options.num_workers - 1);
-    for (std::size_t w = 1; w < options.num_workers; ++w) {
-      workers.emplace_back(worker, w);
+  auto fail = [&](std::exception_ptr error) {
+    std::lock_guard<std::mutex> guard(error_mutex);
+    if (!first_error) first_error = std::move(error);
+    abort_flag.store(true, std::memory_order_relaxed);
+  };
+
+  if (options.steal) {
+    // Work-stealing path. The paper's atomic block (advance the cursor,
+    // snapshot the running Gbnd frontier) is the only code left under the
+    // cursor lock; claimed batches go into the claimer's own deque, so a
+    // worker revisits the lock once per `chunk` events and idle workers
+    // pull from their siblings instead of convoying on the mutex.
+    WorkStealingScheduler<Claimed*> scheduler(options.num_workers,
+                                              options.seed);
+    auto worker = [&](std::size_t worker_index) {
+      try {
+        std::vector<Claimed*> batch;
+        batch.reserve(chunk);
+        while (!abort_flag.load(std::memory_order_relaxed)) {
+          const std::uint64_t seek_ns =
+              tel != nullptr ? tel->tracer().now_ns() : 0;
+          Claimed* item = nullptr;
+          if (!scheduler.pop(worker_index, item)) {
+            // Own deque dry: rescue a sibling's stranded claim before
+            // admitting fresh events. A claimed event ages in a deque
+            // behind a slow batch-mate, while an unclaimed event waits in
+            // the cursor for free — so stealing first is what caps the
+            // claim-to-start tail under skew.
+            std::uint64_t failed_probes = 0;
+            const bool stole =
+                scheduler.steal(worker_index, item, &failed_probes);
+            record_steal(tel, worker_index, seek_ns, stole, failed_probes);
+            if (!stole) {
+              // Nothing to steal: refill from the shared cursor.
+              batch.clear();
+              std::uint64_t acquired_ns = 0;
+              std::uint64_t snapshot_done_ns = 0;
+              {
+                std::lock_guard<std::mutex> guard(cursor_mutex);
+                acquired_ns = tel != nullptr ? tel->tracer().now_ns() : 0;
+                while (cursor < order.size() && batch.size() < chunk) {
+                  const std::size_t i = cursor++;
+                  const EventId id = order[i];
+                  running[id.tid] = id.index;
+                  batch.push_back(new Claimed{i, id, running, seek_ns});
+                }
+                snapshot_done_ns =
+                    tel != nullptr ? tel->tracer().now_ns() : 0;
+              }
+              // Cursor exhausted after a failed sweep: retire. The only
+              // remaining items sit in deques whose owners drain them.
+              if (batch.empty()) return;
+              if (tel != nullptr) {
+                tel->metrics().observe(tel->gbnd_ns, worker_index,
+                                       snapshot_done_ns - acquired_ns);
+                tel->tracer().record(worker_index, "gbnd_snapshot", "queue",
+                                     acquired_ns,
+                                     snapshot_done_ns - acquired_ns, "events",
+                                     batch.size());
+              }
+              item = batch.front();
+              for (std::size_t k = 1; k < batch.size(); ++k) {
+                scheduler.push(worker_index, batch[k]);
+              }
+            }
+          }
+          std::unique_ptr<Claimed> owned(item);
+          // Waits are measured from the claiming seek, not this worker's:
+          // a popped or stolen event has been sitting in a deque since its
+          // batch was claimed, and that queueing delay is the point.
+          record_claim(tel, worker_index, owned->ready_ns, "event",
+                       owned->index);
+          process_item(*owned, worker_index);
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+    };
+    run_workers(options.num_workers, worker);
+
+    // On an aborted run, unprocessed claims may still sit in the deques;
+    // the workers have joined, so draining them single-threaded is safe.
+    for (std::size_t w = 0; w < options.num_workers; ++w) {
+      Claimed* leftover = nullptr;
+      while (scheduler.pop(w, leftover)) delete leftover;
     }
-    worker(0);
-    for (std::thread& w : workers) w.join();
+  } else {
+    // Cursor-only path (the PR-1 scheduler, kept for A/B benching): claim
+    // and snapshot under one lock, then enumerate the batch.
+    auto worker = [&](std::size_t worker_index) {
+      try {
+        std::vector<Claimed> batch;
+        batch.reserve(chunk);
+        while (!abort_flag.load(std::memory_order_relaxed)) {
+          batch.clear();
+          const std::uint64_t seek_ns =
+              tel != nullptr ? tel->tracer().now_ns() : 0;
+          std::uint64_t acquired_ns = 0;
+          std::uint64_t snapshot_done_ns = 0;
+          {
+            // The paper's atomic block: fetch the next event(s) in →p and
+            // snapshot the boundary frontier after each.
+            std::lock_guard<std::mutex> guard(cursor_mutex);
+            acquired_ns = tel != nullptr ? tel->tracer().now_ns() : 0;
+            while (cursor < order.size() && batch.size() < chunk) {
+              const std::size_t i = cursor++;
+              const EventId id = order[i];
+              running[id.tid] = id.index;
+              batch.push_back(Claimed{i, id, running, seek_ns});
+            }
+            snapshot_done_ns = tel != nullptr ? tel->tracer().now_ns() : 0;
+          }
+          // Workers come back here once more on their way out; an empty
+          // claim is not a claim, so record nothing for it (recording
+          // would inflate claim counts relative to the offline driver).
+          if (batch.empty()) return;
+          if (tel != nullptr) {
+            tel->metrics().observe(tel->gbnd_ns, worker_index,
+                                   snapshot_done_ns - acquired_ns);
+            tel->tracer().record(worker_index, "gbnd_snapshot", "queue",
+                                 seek_ns, snapshot_done_ns - seek_ns,
+                                 "events", batch.size());
+          }
+          for (const Claimed& claimed : batch) {
+            if (abort_flag.load(std::memory_order_relaxed)) return;
+            // Mirrors the steal path's per-pop recording: a batch item
+            // does not start until every batch-mate ahead of it finishes,
+            // and that serialization is exactly the wait the steal path
+            // removes.
+            record_claim(tel, worker_index, claimed.ready_ns, "event",
+                         claimed.index);
+            process_item(claimed, worker_index);
+          }
+        }
+      } catch (...) {
+        fail(std::current_exception());
+        std::lock_guard<std::mutex> cursor_guard(cursor_mutex);
+        cursor = order.size();
+      }
+    };
+    run_workers(options.num_workers, worker);
   }
 
   if (first_error) std::rethrow_exception(first_error);

@@ -29,6 +29,14 @@ struct ParamountOptions {
   // paper's Algorithm 1 exactly; larger chunks amortize queue contention at
   // the cost of coarser load balancing (tail intervals are the big ones).
   std::size_t chunk_size = 1;
+  // When true (default), work is distributed through per-worker
+  // work-stealing deques (util/work_stealing.hpp): the offline driver seeds
+  // each worker's deque with owner-local chunks, the streaming driver's
+  // cursor lock shrinks to the Gbnd-snapshot block and claimed batches land
+  // in the claimer's deque, and idle workers steal. When false, the drivers
+  // fall back to the shared fetch_add counter / cursor-only claiming
+  // (`--no-steal` in the CLI, kept for A/B benching).
+  bool steal = true;
   // Optional shared memory meter (thread-safe); lets B-Para reproduce the
   // bounded-memory behaviour of Table 1.
   MemoryMeter* meter = nullptr;
@@ -38,8 +46,13 @@ struct ParamountOptions {
   // Optional telemetry sink (see src/obs/). Must have at least `num_workers`
   // shards; worker w writes only shard w. Per interval the drivers record an
   // "interval" span plus states/intervals counters and the interval-size and
-  // interval-time histograms; the streaming driver additionally records
-  // cursor queue-wait and Gbnd-snapshot timings.
+  // interval-time histograms. Per work acquisition they record a claims
+  // count and a queue-wait observation — measured from when the work was
+  // claimed (or first sought) to the start of its processing, so time spent
+  // parked in a deque or behind a slow batch-mate is visible. Stolen
+  // acquisitions additionally bump pool.steals (failed probes:
+  // pool.steal_fail) and emit a "steal" span. The streaming driver records
+  // Gbnd-snapshot timings per non-empty cursor claim.
   obs::Telemetry* telemetry = nullptr;
 };
 

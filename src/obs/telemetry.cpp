@@ -31,6 +31,8 @@ Telemetry::Telemetry(std::size_t num_shards,
   claims = metrics_.counter("paramount.claims");
   predicate_evals = metrics_.counter("detect.predicate_evals");
   pool_tasks = metrics_.counter("pool.tasks");
+  steals = metrics_.counter("pool.steals");
+  steal_fail = metrics_.counter("pool.steal_fail");
   interval_states = metrics_.histogram("paramount.interval_states");
   interval_ns = metrics_.histogram("paramount.interval_ns");
   queue_wait_ns = metrics_.histogram("pool.queue_wait_ns");

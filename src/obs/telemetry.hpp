@@ -42,9 +42,11 @@ class Telemetry {
   // Counters (one value per worker shard).
   MetricId states;           // consistent states delivered to the visitor
   MetricId intervals;        // intervals fully enumerated
-  MetricId claims;           // visits to the shared →p cursor / work queue
+  MetricId claims;           // work acquisitions (cursor, counter, or deque)
   MetricId predicate_evals;  // detector predicate evaluations
   MetricId pool_tasks;       // thread-pool tasks executed
+  MetricId steals;           // acquisitions satisfied by stealing (thief shard)
+  MetricId steal_fail;       // steal probes that found a victim empty
   // Histograms.
   MetricId interval_states;  // states per interval (log2 buckets)
   MetricId interval_ns;      // wall time per interval enumeration

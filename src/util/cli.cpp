@@ -169,6 +169,19 @@ std::int64_t CliFlags::get_int(const std::string& name) const {
   return find(name, Kind::kInt).int_value;
 }
 
+std::int64_t CliFlags::get_int_in_range(const std::string& name,
+                                        std::int64_t lo,
+                                        std::int64_t hi) const {
+  const std::int64_t value = get_int(name);
+  if (value < lo || value > hi) {
+    usage_error("flag --" + name + " must be in [" + std::to_string(lo) +
+                    ", " + std::to_string(hi) + "], got " +
+                    std::to_string(value),
+                help());
+  }
+  return value;
+}
+
 double CliFlags::get_double(const std::string& name) const {
   return find(name, Kind::kDouble).double_value;
 }

@@ -33,6 +33,12 @@ class CliFlags {
   bool parse(int argc, char** argv);
 
   std::int64_t get_int(const std::string& name) const;
+  // Like get_int, but exits with a friendly usage error (naming the flag and
+  // the accepted range) unless lo <= value <= hi. Front ends use this so
+  // e.g. --workers=-1 cannot wrap into a SIZE_MAX allocation or trip a raw
+  // PM_CHECK abort deep in the library.
+  std::int64_t get_int_in_range(const std::string& name, std::int64_t lo,
+                                std::int64_t hi) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
   const std::string& get_string(const std::string& name) const;

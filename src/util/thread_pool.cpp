@@ -1,8 +1,7 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
-
 #include "util/check.hpp"
+#include "util/work_stealing.hpp"
 
 namespace paramount {
 
@@ -17,6 +16,10 @@ ThreadPool::ThreadPool(std::size_t num_threads, obs::Telemetry* telemetry,
   PM_CHECK_MSG(telemetry == nullptr ||
                    telemetry->num_shards() >= shard_base + num_threads,
                "telemetry needs one shard per pool worker");
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -41,48 +44,114 @@ void ThreadPool::submit(std::function<void()> task) {
   if (telemetry_ != nullptr) {
     entry.enqueue_ns = telemetry_->tracer().now_ns();
   }
+  // Least-loaded placement from the racy size estimates; a stale read just
+  // costs one task a slightly longer queue, and stealing evens it out.
+  std::size_t target = 0;
+  std::size_t best = queues_[0]->size.load(std::memory_order_relaxed);
+  for (std::size_t i = 1; i < queues_.size() && best > 0; ++i) {
+    const std::size_t load = queues_[i]->size.load(std::memory_order_relaxed);
+    if (load < best) {
+      best = load;
+      target = i;
+    }
+  }
   {
+    WorkerQueue& q = *queues_[target];
+    std::lock_guard<std::mutex> guard(q.mutex);
+    q.tasks.push_back(std::move(entry));
+    q.size.store(q.tasks.size(), std::memory_order_relaxed);
+  }
+  {
+    // pending_ is bumped under mutex_ so a worker between its sleep check
+    // and cv wait cannot miss the wakeup.
     std::lock_guard<std::mutex> guard(mutex_);
     PM_CHECK_MSG(!shutting_down_, "submit after shutdown");
-    queue_.push_back(std::move(entry));
+    pending_.fetch_add(1, std::memory_order_seq_cst);
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  all_idle_.wait(lock, [this] {
+    return pending_.load(std::memory_order_seq_cst) == 0 &&
+           active_.load(std::memory_order_seq_cst) == 0;
+  });
+}
+
+bool ThreadPool::try_take(std::size_t queue_index, Task& out) {
+  WorkerQueue& q = *queues_[queue_index];
+  std::lock_guard<std::mutex> guard(q.mutex);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  q.size.store(q.tasks.size(), std::memory_order_relaxed);
+  // active_ rises before pending_ falls so (pending_ + active_) never dips
+  // to zero while this task is in flight — wait_idle keys off that sum.
+  active_.fetch_add(1, std::memory_order_seq_cst);
+  pending_.fetch_sub(1, std::memory_order_seq_cst);
+  return true;
+}
+
+void ThreadPool::run_task(Task& task, std::size_t worker_index, bool stolen,
+                          std::uint64_t failed_probes) {
+  if (telemetry_ != nullptr) {
+    const std::size_t shard = shard_base_ + worker_index;
+    const std::uint64_t start = telemetry_->tracer().now_ns();
+    telemetry_->metrics().observe(telemetry_->queue_wait_ns, shard,
+                                  start - task.enqueue_ns);
+    telemetry_->metrics().add(telemetry_->pool_tasks, shard);
+    if (stolen) telemetry_->metrics().add(telemetry_->steals, shard);
+    if (failed_probes > 0) {
+      telemetry_->metrics().add(telemetry_->steal_fail, shard, failed_probes);
+    }
+    task.fn();
+    telemetry_->tracer().record(shard, "task", "pool", start,
+                                telemetry_->tracer().now_ns() - start);
+  } else {
+    task.fn();
+  }
+  active_.fetch_sub(1, std::memory_order_seq_cst);
+  if (pending_.load(std::memory_order_seq_cst) == 0 &&
+      active_.load(std::memory_order_seq_cst) == 0) {
+    // The empty critical section pins any wait_idle caller either before
+    // its predicate check (it will see the zeros) or inside the wait (it
+    // will get the notify).
+    { std::lock_guard<std::mutex> guard(mutex_); }
+    all_idle_.notify_all();
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
   tls_pool_worker_index = worker_index;
-  std::unique_lock<std::mutex> lock(mutex_);
+  Rng rng(detail::worker_seed(0x706f6f6cULL /* "pool" */, worker_index));
   while (true) {
-    work_available_.wait(lock,
-                         [this] { return shutting_down_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      // shutting down
-      return;
+    Task task;
+    bool have = try_take(worker_index, task);
+    bool stolen = false;
+    std::uint64_t failed_probes = 0;
+    if (!have) {
+      // Own queue dry: sweep the other queues in seeded-random order.
+      VictimSequence victims(worker_index, queues_.size(), rng);
+      std::size_t victim;
+      while (!have && victims.next(victim)) {
+        have = try_take(victim, task);
+        if (!have) ++failed_probes;
+      }
+      stolen = have;
     }
-    Task task = std::move(queue_.front());
-    queue_.pop_front();
-    ++active_;
-    lock.unlock();
-    if (telemetry_ != nullptr) {
-      const std::size_t shard = shard_base_ + worker_index;
-      const std::uint64_t start = telemetry_->tracer().now_ns();
-      telemetry_->metrics().observe(telemetry_->queue_wait_ns, shard,
-                                    start - task.enqueue_ns);
-      telemetry_->metrics().add(telemetry_->pool_tasks, shard);
-      task.fn();
-      telemetry_->tracer().record(shard, "task", "pool", start,
-                                  telemetry_->tracer().now_ns() - start);
-    } else {
-      task.fn();
+    if (!have) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] {
+        return shutting_down_ ||
+               pending_.load(std::memory_order_seq_cst) > 0;
+      });
+      if (shutting_down_ && pending_.load(std::memory_order_seq_cst) == 0) {
+        return;
+      }
+      continue;  // re-scan the queues
     }
-    lock.lock();
-    --active_;
-    if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    run_task(task, worker_index, stolen, failed_probes);
   }
 }
 

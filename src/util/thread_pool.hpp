@@ -1,21 +1,31 @@
-// Fixed-size worker pool with a central task queue.
+// Fixed-size worker pool with distributed, work-stealing task queues.
 //
-// Used by the offline ParaMount driver (workers pull per-event intervals) and
-// by benchmark harnesses. The pool is deliberately simple — a mutex-guarded
-// queue matches the paper's Algorithm 1, where workers fetch the next event
-// in the shared total order →p.
+// Used by OnlineParamount's async mode and by benchmark harnesses. Earlier
+// revisions kept one mutex-guarded central queue; with enough submitters and
+// workers every push and pop serialized on that lock (visible as a growing
+// pool.queue_wait_ns histogram). Now each worker owns a small task queue:
+// submit() appends to the least-loaded queue, workers drain their own queue
+// first and steal from a seeded-random victim sequence when it runs dry
+// (see util/work_stealing.hpp for the policy; the queues here are
+// mutex-guarded rather than Chase–Lev deques because submission is
+// multi-producer — external program threads push, so there is no single
+// owner to give the lock-free fast path to).
 //
 // When a Telemetry bundle is attached, each worker records how long every
-// task sat in the queue (pool.queue_wait_ns histogram, sharded by worker
-// index), counts executed tasks (pool.tasks), and emits a "task" span per
-// execution — enough to see queue backlog and worker idleness in Perfetto.
+// task sat in a queue (pool.queue_wait_ns histogram, sharded by worker
+// index), counts executed tasks (pool.tasks) and tasks taken from a sibling
+// (pool.steals; empty probes land in pool.steal_fail), and emits a "task"
+// span per execution — enough to see queue backlog, worker idleness, and
+// steal traffic in Perfetto.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -41,10 +51,12 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  // Enqueues a task. Tasks must not throw; an escaping exception terminates.
+  // Enqueues a task onto the least-loaded worker's queue. Thread-safe from
+  // any thread, including pool workers. Tasks must not throw; an escaping
+  // exception terminates.
   void submit(std::function<void()> task);
 
-  // Blocks until the queue is empty and every worker is idle.
+  // Blocks until every queue is empty and every worker is idle.
   void wait_idle();
 
   // Index of the pool worker running the calling thread, or `npos` when the
@@ -59,16 +71,28 @@ class ThreadPool {
     std::uint64_t enqueue_ns = 0;  // tracer timestamp; 0 if untracked
   };
 
+  // One per worker; submitters and thieves take the lock briefly, so
+  // contention is spread across workers instead of a single hot mutex.
+  struct alignas(64) WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;             // owner takes front; so do thieves
+    std::atomic<std::size_t> size{0};   // load estimate for submit()
+  };
+
   void worker_loop(std::size_t worker_index);
+  bool try_take(std::size_t queue_index, Task& out);
+  void run_task(Task& task, std::size_t worker_index, bool stolen,
+                std::uint64_t failed_probes);
 
   obs::Telemetry* telemetry_;
   std::size_t shard_base_ = 0;
-  std::mutex mutex_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<std::size_t> pending_{0};  // queued, not yet taken
+  std::atomic<std::size_t> active_{0};   // taken, still running
+  std::mutex mutex_;                     // sleep/wake + shutdown + wait_idle
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::deque<Task> queue_;
-  std::size_t active_ = 0;
-  bool shutting_down_ = false;
+  bool shutting_down_ = false;  // guarded by mutex_
   std::vector<std::thread> workers_;
 };
 

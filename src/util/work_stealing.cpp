@@ -1,0 +1,32 @@
+#include "util/work_stealing.hpp"
+
+namespace paramount {
+
+VictimSequence::VictimSequence(std::size_t self, std::size_t num_workers,
+                               Rng& rng)
+    : self_(self), num_workers_(num_workers),
+      offset_(num_workers > 1 ? rng.next_below(num_workers - 1) : 0) {}
+
+bool VictimSequence::next(std::size_t& victim) {
+  if (num_workers_ <= 1 || visited_ >= num_workers_ - 1) return false;
+  // Walk the other workers cyclically from a random start: self_+1+offset_,
+  // self_+2+offset_, ... with offset_ < num_workers_-1, so self_ is skipped
+  // and every other index appears exactly once.
+  victim = (self_ + 1 + (offset_ + visited_) % (num_workers_ - 1)) %
+           num_workers_;
+  ++visited_;
+  return true;
+}
+
+namespace detail {
+
+std::uint64_t worker_seed(std::uint64_t base_seed, std::size_t worker) {
+  // splitmix64 on (seed, worker) keeps streams decorrelated even for the
+  // small consecutive seeds the benches use.
+  std::uint64_t state = base_seed ^ (0x9e3779b97f4a7c15ULL *
+                                     (static_cast<std::uint64_t>(worker) + 1));
+  return splitmix64(state);
+}
+
+}  // namespace detail
+}  // namespace paramount

@@ -89,35 +89,46 @@ struct ListSet {
   }
 
   bool remove(int key) {
+    if (faulty) {
+      // BUG (the paper's add-while-remove scenario): remove() skips lock
+      // coupling entirely, so every traversal read and the unlink's
+      // read-then-poison of the victim's next field race with inserters
+      // that hold the same nodes locked — the races land on nodeK.next,
+      // set_faulty's Table 2 row. Holding *any* of the list locks here
+      // would happened-before-order the unlink against the inserter's
+      // coupled path and hide the race from the detector. The races stay
+      // at the model level: TracedVar storage is std::atomic, and no real
+      // std::mutex is unlocked without being held.
+      int pred = head;
+      int curr = arena[pred].next->load();
+      while (curr != kNil && arena[curr].key->load() < key) {
+        pred = curr;
+        curr = arena[pred].next->load();
+      }
+      if (curr == kNil || arena[curr].key->load() != key) return false;
+      arena[pred].next->store(arena[curr].next->load());
+      arena[curr].next->store(kNil);
+      return true;
+    }
+    // Correct variant: hand-over-hand like insert(), with the victim kept
+    // locked through the unlink.
     int pred = head;
     arena[pred].lock->lock();
     int curr = arena[pred].next->load();
-    bool locked_curr = false;
     while (curr != kNil) {
-      if (!faulty) {
-        arena[curr].lock->lock();
-        locked_curr = true;
-      }
-      const int k = arena[curr].key->load();
-      if (k >= key) break;
-      // Hand-over-hand transfer: release pred, keep curr's lock (it becomes
-      // the new pred), and read its next pointer under that lock. The faulty
-      // variant never locked curr, so its traversal reads race by design.
+      arena[curr].lock->lock();
+      if (arena[curr].key->load() >= key) break;
       arena[pred].lock->unlock();
       pred = curr;
-      locked_curr = false;  // the lock is now held in the pred role
       curr = arena[pred].next->load();
     }
     bool removed = false;
     if (curr != kNil && arena[curr].key->load() == key) {
-      // Unlink. In the faulty variant the victim is not locked, so this
-      // read of curr.next and the poisoning write below race with an
-      // inserter that owns curr as its predecessor.
       arena[pred].next->store(arena[curr].next->load());
       arena[curr].next->store(kNil);
       removed = true;
     }
-    if (locked_curr) arena[curr].lock->unlock();
+    if (curr != kNil) arena[curr].lock->unlock();
     arena[pred].lock->unlock();
     return removed;
   }

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <stdexcept>
 
 #include "core/schedule_sim.hpp"
 #include "enumeration/bfs_enumerator.hpp"
@@ -167,6 +168,94 @@ TEST_P(ParamountChunking, ExactlyOnceForAnyChunkSize) {
 
 INSTANTIATE_TEST_SUITE_P(ChunkSizes, ParamountChunking,
                          ::testing::Values(1u, 2u, 5u, 16u, 1000u));
+
+// Scheduler A/B: the work-stealing deques and the PR-1 shared-counter /
+// cursor paths must be observationally identical — same state set, same
+// exactly-once guarantee — for every workers × chunk × steal combination,
+// in both drivers.
+class ParamountScheduler
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, bool>> {};
+
+TEST_P(ParamountScheduler, StealAndSharedCounterPathsAgree) {
+  const auto [workers, chunk, steal] = GetParam();
+  const Poset poset = make_random(4, 30, 0.4, 21);
+  std::set<Key> oracle;
+  for (const Frontier& f : all_ideals(poset)) oracle.insert(key_of(f));
+
+  ParamountOptions options;
+  options.num_workers = workers;
+  options.chunk_size = chunk;
+  options.steal = steal;
+
+  std::mutex mutex;
+  std::vector<Key> states;
+  auto collector = [&](const Frontier& f) {
+    std::lock_guard<std::mutex> guard(mutex);
+    states.push_back(key_of(f));
+  };
+
+  const ParamountResult offline =
+      enumerate_paramount(poset, options, collector);
+  EXPECT_TRUE(all_distinct(states));
+  EXPECT_EQ(as_set(states), oracle);
+  EXPECT_EQ(offline.states, oracle.size());
+
+  states.clear();
+  const auto order = topological_sort(poset, TopoPolicy::kInterleave);
+  const ParamountResult streaming =
+      enumerate_paramount_streaming(poset, order, options, collector);
+  EXPECT_TRUE(all_distinct(states));
+  EXPECT_EQ(as_set(states), oracle);
+  EXPECT_EQ(streaming.states, oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersChunksSteal, ParamountScheduler,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u),
+                       ::testing::Values(1u, 5u), ::testing::Bool()));
+
+// A visitor exception must reach the caller, and sibling workers must stop
+// promptly: on a chain every interval is one state, abort is checked
+// between intervals, so only a bounded handful of extra states can slip
+// through after the throw.
+class ParamountThrow : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ParamountThrow, VisitorExceptionPropagatesAndAborts) {
+  const bool steal = GetParam();
+  constexpr std::size_t kEvents = 500;
+  constexpr std::uint64_t kThrowAt = 20;
+  const Poset poset = make_chain(kEvents);
+
+  ParamountOptions options;
+  options.num_workers = 4;
+  options.chunk_size = 2;
+  options.steal = steal;
+
+  for (const bool streaming : {false, true}) {
+    std::atomic<std::uint64_t> visited{0};
+    auto visitor = [&](const Frontier&) {
+      if (visited.fetch_add(1) == kThrowAt) {
+        throw std::runtime_error("visitor boom");
+      }
+    };
+    if (streaming) {
+      const auto order = topological_sort(poset, TopoPolicy::kInterleave);
+      EXPECT_THROW(
+          enumerate_paramount_streaming(poset, order, options, visitor),
+          std::runtime_error);
+    } else {
+      EXPECT_THROW(enumerate_paramount(poset, options, visitor),
+                   std::runtime_error);
+    }
+    // Well below the 501 total states: the abort flag stopped the sweep.
+    EXPECT_LT(visited.load(), kThrowAt + 4 * options.num_workers *
+                                             options.chunk_size)
+        << (streaming ? "streaming" : "offline");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StealOnOff, ParamountThrow, ::testing::Bool());
 
 TEST(Paramount, StreamingEmptyPoset) {
   PosetBuilder builder(2);

@@ -17,6 +17,7 @@
 #include "core/online_paramount.hpp"
 #include "core/paramount.hpp"
 #include "obs/telemetry.hpp"
+#include "poset/poset_builder.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/random_poset.hpp"
 
@@ -508,11 +509,42 @@ TEST(DriverTelemetry, StreamingRecordsQueueWaitAndGbnd) {
   if constexpr (obs::kTelemetryEnabled) {
     const MetricsSnapshot snap = telemetry.snapshot();
     EXPECT_EQ(snap.find_counter("paramount.states")->total, result.states);
+    // One claim and one queue-wait observation per event; Gbnd snapshots
+    // happen once per non-empty cursor batch, so at most once per claim.
     const std::uint64_t claims = snap.find_counter("paramount.claims")->total;
-    EXPECT_GE(claims, 1u);
-    // One queue-wait and one Gbnd-snapshot observation per cursor claim.
+    EXPECT_EQ(claims, order.size());
     EXPECT_EQ(snap.find_histogram("pool.queue_wait_ns")->count, claims);
-    EXPECT_EQ(snap.find_histogram("paramount.gbnd_ns")->count, claims);
+    const std::uint64_t gbnd =
+        snap.find_histogram("paramount.gbnd_ns")->count;
+    EXPECT_GE(gbnd, 1u);
+    EXPECT_LE(gbnd, claims);
+  }
+}
+
+// Workers that find the cursor already exhausted on their way out must not
+// record anything: with more workers than events, claims still equals the
+// event count exactly, on both scheduler paths.
+TEST(DriverTelemetry, StreamingEmptyClaimsAreNotCounted) {
+  PosetBuilder builder(1);
+  for (int i = 0; i < 3; ++i) builder.add_event(0);
+  const Poset poset = std::move(builder).build();
+  const auto order = topological_sort(poset, TopoPolicy::kInterleave);
+  for (const bool steal : {false, true}) {
+    Telemetry telemetry(8);
+    ParamountOptions options;
+    options.num_workers = 8;
+    options.steal = steal;
+    options.telemetry = &telemetry;
+    enumerate_paramount_streaming(poset, order, options,
+                                  [](const Frontier&) {});
+    if constexpr (obs::kTelemetryEnabled) {
+      const MetricsSnapshot snap = telemetry.snapshot();
+      EXPECT_EQ(snap.find_counter("paramount.claims")->total, order.size())
+          << "steal=" << steal;
+      EXPECT_LE(snap.find_histogram("paramount.gbnd_ns")->count,
+                order.size())
+          << "steal=" << steal;
+    }
   }
 }
 

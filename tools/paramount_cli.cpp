@@ -73,7 +73,10 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
     return;
   }
 
-  Table workers({"worker", "states", "intervals", "states/s", "queue-wait"});
+  const obs::CounterSnapshot* steals = snap.find_counter("pool.steals");
+
+  Table workers(
+      {"worker", "states", "intervals", "steals", "states/s", "queue-wait"});
   for (std::size_t w = 0; w < snap.num_shards; ++w) {
     const double wait_mean =
         queue_wait->per_shard_count[w] == 0
@@ -83,6 +86,7 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
     workers.add_row(
         {std::to_string(w), format_count(states->per_shard[w]),
          format_count(intervals->per_shard[w]),
+         steals == nullptr ? "-" : format_count(steals->per_shard[w]),
          format_si(static_cast<double>(states->per_shard[w]) /
                    elapsed_seconds),
          format_ns(wait_mean)});
@@ -90,6 +94,7 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
   workers.add_separator();
   workers.add_row({"all", format_count(states->total),
                    format_count(intervals->total),
+                   steals == nullptr ? "-" : format_count(steals->total),
                    format_si(static_cast<double>(states->total) /
                              elapsed_seconds),
                    format_ns(queue_wait->quantile(0.5))});
@@ -117,7 +122,14 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
 
 int run_count(const Poset& poset, const CliFlags& flags) {
   ParamountOptions options;
-  options.num_workers = static_cast<std::size_t>(flags.get_int("workers"));
+  // Validated here rather than downcast blindly: --workers=-1 used to wrap
+  // to SIZE_MAX and ask Telemetry for ~2^64 shards, and --workers=0 died on
+  // a raw PM_CHECK abort inside the driver.
+  options.num_workers = static_cast<std::size_t>(
+      flags.get_int_in_range("workers", 1, 1 << 14));
+  options.chunk_size = static_cast<std::size_t>(
+      flags.get_int_in_range("chunk", 1, std::int64_t{1} << 30));
+  options.steal = flags.get_bool("steal");
   options.subroutine = parse_algorithm(flags.get_string("algorithm"));
   options.topo_policy = parse_policy(flags.get_string("order"));
   const bool streaming = flags.get_bool("streaming");
@@ -139,10 +151,13 @@ int run_count(const Poset& poset, const CliFlags& flags) {
 
   std::printf("consistent global states: %s\n",
               format_count(result.states).c_str());
-  std::printf("algorithm: ParaMount(%s, %zu workers, %s order%s), %s\n",
-              to_string(options.subroutine), options.num_workers,
-              to_string(options.topo_policy), streaming ? ", streaming" : "",
-              format_seconds(elapsed).c_str());
+  std::printf(
+      "algorithm: ParaMount(%s, %zu workers, %s order%s, chunk %zu, %s), "
+      "%s\n",
+      to_string(options.subroutine), options.num_workers,
+      to_string(options.topo_policy), streaming ? ", streaming" : "",
+      options.chunk_size, options.steal ? "steal" : "no-steal",
+      format_seconds(elapsed).c_str());
 
   if constexpr (obs::kTelemetryEnabled) {
     print_telemetry_summary(telemetry, elapsed);
@@ -174,7 +189,8 @@ int run_count(const Poset& poset, const CliFlags& flags) {
 
 int run_print(const Poset& poset, const CliFlags& flags) {
   const auto algorithm = parse_algorithm(flags.get_string("algorithm"));
-  const auto limit = static_cast<std::uint64_t>(flags.get_int("limit"));
+  const auto limit = static_cast<std::uint64_t>(
+      flags.get_int_in_range("limit", 0, std::numeric_limits<std::int64_t>::max()));
   std::uint64_t printed = 0;
   std::uint64_t total = 0;
   enumerate_all(algorithm, poset, [&](const Frontier& g) {
@@ -195,7 +211,8 @@ int run_intervals(const Poset& poset, const CliFlags& flags) {
   const auto policy = parse_policy(flags.get_string("order"));
   const auto intervals = compute_intervals(poset, policy);
   Table table({"event", "Gmin", "Gbnd", "box cells"});
-  const auto limit = static_cast<std::size_t>(flags.get_int("limit"));
+  const auto limit = static_cast<std::size_t>(
+      flags.get_int_in_range("limit", 0, std::numeric_limits<std::int64_t>::max()));
   for (std::size_t i = 0; i < intervals.size() && i < limit; ++i) {
     const Interval& iv = intervals[i];
     table.add_row({iv.event.to_string(), iv.gmin.to_string(),
@@ -210,8 +227,8 @@ int run_intervals(const Poset& poset, const CliFlags& flags) {
 }
 
 int run_conjunctive(const Poset& poset, const CliFlags& flags) {
-  const auto modulus = static_cast<std::uint64_t>(flags.get_int("modulus"));
-  PM_CHECK(modulus > 0);
+  const auto modulus = static_cast<std::uint64_t>(flags.get_int_in_range(
+      "modulus", 1, std::numeric_limits<std::int64_t>::max()));
   auto predicate = [&](ThreadId, EventIndex i) { return i % modulus == 0; };
   const ConjunctiveResult result = detect_conjunctive(poset, predicate);
   if (result.detected) {
@@ -243,6 +260,10 @@ int main(int argc, char** argv) {
   flags.add_string("order", "interleave",
                    "interleave | thread-major | random");
   flags.add_int("workers", 4, "ParaMount workers for count mode");
+  flags.add_int("chunk", 1, "count mode: intervals claimed per queue visit");
+  flags.add_bool("steal", true,
+                 "count mode: work-stealing scheduler (--no-steal = "
+                 "PR-1 shared counter/cursor, for A/B benching)");
   flags.add_bool("streaming", false,
                  "count mode: use the streaming driver (real queue waits)");
   flags.add_string("metrics-json", "",
@@ -259,12 +280,13 @@ int main(int argc, char** argv) {
     poset = load_poset(flags.get_string("input"));
   } else {
     RandomPosetParams params;
-    params.num_processes =
-        static_cast<std::size_t>(flags.get_int("generate-processes"));
-    params.num_events =
-        static_cast<std::size_t>(flags.get_int("generate-events"));
+    params.num_processes = static_cast<std::size_t>(
+        flags.get_int_in_range("generate-processes", 1, 1 << 20));
+    params.num_events = static_cast<std::size_t>(
+        flags.get_int_in_range("generate-events", 0, std::int64_t{1} << 32));
     params.message_probability = flags.get_double("generate-prob");
-    params.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    params.seed = static_cast<std::uint64_t>(flags.get_int_in_range(
+        "seed", 0, std::numeric_limits<std::int64_t>::max()));
     poset = make_random_poset(params);
   }
   std::printf("poset: %zu threads, %s events\n", poset.num_threads(),
