@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/interval.hpp"
+#include "core/online_paramount.hpp"
 #include "core/paramount.hpp"
 #include "enumeration/bfs_enumerator.hpp"
 #include "enumeration/lexical_enumerator.hpp"
@@ -17,6 +18,7 @@
 #include "poset/lattice.hpp"
 #include "poset/topo_sort.hpp"
 #include "util/stable_vector.hpp"
+#include "workloads/event_stream.hpp"
 #include "workloads/random_poset.hpp"
 
 namespace paramount {
@@ -134,6 +136,57 @@ void BM_StableVectorRead(benchmark::State& state) {
   state.SetItemsProcessed(4096 * state.iterations());
 }
 BENCHMARK(BM_StableVectorRead);
+
+void BM_StableVectorReleasePrefix(benchmark::State& state) {
+  // Append-and-release in a steady-state window: the cost the sliding-window
+  // GC pays per event once a long run reaches its resident plateau.
+  for (auto _ : state) {
+    StableVector<std::uint64_t, 64, 256> v;
+    for (std::uint64_t i = 0; i < 16384; ++i) {
+      v.push_back(i);
+      if ((i & 1023) == 1023) v.release_prefix(i - 512);
+    }
+    benchmark::DoNotOptimize(v.heap_bytes());
+  }
+  state.SetItemsProcessed(16384 * state.iterations());
+}
+BENCHMARK(BM_StableVectorReleasePrefix);
+
+// Long-run memory bench: stream events through the online driver with the
+// sliding window off (Arg 0) vs on (Arg 1) and report the poset's peak
+// resident bytes as a counter — the GC-on figure must plateau while the
+// GC-off one scales with the stream length.
+void BM_OnlineStreamMemory(benchmark::State& state) {
+  const bool windowed = state.range(0) != 0;
+  const std::uint64_t total_events = 50000;
+  std::size_t peak_bytes = 0;
+  std::uint64_t states_seen = 0;
+  for (auto _ : state) {
+    OnlineParamount::Options options;
+    if (windowed) options.window_policy.gc_every = 1024;
+    OnlineParamount driver(
+        4, options, [](const OnlinePoset&, EventId, const Frontier&) {});
+    SyntheticEventStream stream(
+        {.num_threads = 4, .num_locks = 2, .sync_probability = 0.8,
+         .seed = 7});
+    for (std::uint64_t i = 0; i < total_events; ++i) {
+      SyntheticEventStream::StreamEvent ev = stream.next();
+      driver.submit(ev.tid, ev.kind, ev.object, std::move(ev.clock));
+      if ((i & 1023) == 0) {
+        peak_bytes = std::max(peak_bytes, driver.poset().heap_bytes());
+      }
+    }
+    peak_bytes = std::max(peak_bytes, driver.poset().heap_bytes());
+    states_seen = driver.states_enumerated();
+  }
+  state.counters["peak_poset_bytes"] =
+      benchmark::Counter(static_cast<double>(peak_bytes));
+  state.counters["states"] =
+      benchmark::Counter(static_cast<double>(states_seen));
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_events) *
+                          state.iterations());
+}
+BENCHMARK(BM_OnlineStreamMemory)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // ---- telemetry ----
 

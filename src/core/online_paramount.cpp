@@ -27,8 +27,12 @@ EventId OnlineParamount::submit(ThreadId tid, OpKind kind,
   obs::Telemetry* const tel = options_.telemetry;
   const std::uint64_t insert_ns =
       tel != nullptr ? tel->tracer().now_ns() : 0;
+  // With a window policy the interval's Gmin is pinned atomically with the
+  // insert; the pin travels to enumerate_interval via ins.pin_slot and is
+  // released when the enumeration finishes.
   const OnlinePoset::Inserted ins =
-      poset_.insert(tid, kind, object, std::move(clock));
+      poset_.insert(tid, kind, object, std::move(clock),
+                    /*pin=*/options_.window_policy.enabled());
   if (tel != nullptr) {
     // The insert is Algorithm 4's atomic block: it appends to →p and
     // snapshots the maximal frontier (Gbnd).
@@ -43,6 +47,7 @@ EventId OnlineParamount::submit(ThreadId tid, OpKind kind,
   } else {
     enumerate_interval(ins);
   }
+  maybe_collect();
   return ins.id;
 }
 
@@ -50,7 +55,43 @@ void OnlineParamount::drain() {
   if (pool_ != nullptr) pool_->wait_idle();
 }
 
+OnlinePoset::CollectStats OnlineParamount::collect() {
+  const OnlinePoset::CollectStats stats = poset_.collect();
+  obs::Telemetry* const tel = options_.telemetry;
+  if (tel != nullptr) {
+    // Poset-wide gauges: gauge totals sum over shards, so write shard 0 only.
+    // Concurrent collectors race on the same cell; the store is a relaxed
+    // atomic and both values are fresh, so last-writer-wins is fine.
+    tel->metrics().set(tel->poset_resident_bytes, 0, stats.resident_bytes);
+    tel->metrics().set(tel->poset_reclaimed_events, 0,
+                       poset_.reclaimed_events());
+  }
+  return stats;
+}
+
+void OnlineParamount::maybe_collect() {
+  const WindowPolicy& wp = options_.window_policy;
+  if (!wp.enabled()) return;
+  bool due = false;
+  if (wp.gc_every > 0) {
+    const std::uint64_t n =
+        inserts_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n >= wp.gc_every) {
+      inserts_since_gc_.store(0, std::memory_order_relaxed);
+      due = true;
+    }
+  }
+  if (!due && wp.window_bytes > 0 && poset_.heap_bytes() > wp.window_bytes) {
+    due = true;
+  }
+  if (due) collect();
+}
+
 void OnlineParamount::enumerate_interval(const OnlinePoset::Inserted& ins) {
+  // Adopt the pin taken at insert time (inert without a window policy):
+  // while this guard lives, collect() cannot advance the watermark past
+  // ins.gmin, so every index inside [Gmin, Gbnd] stays resident.
+  OnlinePoset::EnumGuard guard(&poset_, ins.pin_slot);
   obs::Telemetry* const tel = options_.telemetry;
   // Inline mode runs on the submitting program thread (shard = its tid);
   // pooled mode runs on a pool worker (shards above the program threads).

@@ -29,6 +29,16 @@ namespace paramount {
 
 class OnlineParamount {
  public:
+  // Sliding-window reclamation policy (see OnlinePoset). When enabled, every
+  // interval pins its Gmin for the duration of its enumeration and submit()
+  // periodically runs OnlinePoset::collect() to retire settled prefix
+  // storage, keeping week-long monitored runs in bounded memory.
+  struct WindowPolicy {
+    std::uint64_t gc_every = 0;   // collect() every N inserts (0 = off)
+    std::size_t window_bytes = 0;  // collect() when heap_bytes() exceeds this
+    bool enabled() const { return gc_every > 0 || window_bytes > 0; }
+  };
+
   struct Options {
     EnumAlgorithm subroutine = EnumAlgorithm::kLexical;
     std::size_t async_workers = 0;  // 0 = enumerate inline on submit
@@ -36,6 +46,7 @@ class OnlineParamount {
     // program thread t writes shard t; pooled enumeration worker w writes
     // shard num_threads + w. Requires num_threads + async_workers shards.
     obs::Telemetry* telemetry = nullptr;
+    WindowPolicy window_policy;  // default: no reclamation (unbounded)
   };
 
   // Visitor invoked once per enumerated global state, possibly from several
@@ -60,6 +71,10 @@ class OnlineParamount {
   // Waits until every queued interval has been enumerated (no-op inline).
   void drain();
 
+  // One explicit sliding-window reclamation pass (also runs automatically
+  // per the window policy). Updates the poset.* telemetry gauges.
+  OnlinePoset::CollectStats collect();
+
   const OnlinePoset& poset() const { return poset_; }
 
   std::uint64_t states_enumerated() const {
@@ -71,6 +86,7 @@ class OnlineParamount {
 
  private:
   void enumerate_interval(const OnlinePoset::Inserted& ins);
+  void maybe_collect();
 
   OnlinePoset poset_;
   Options options_;
@@ -78,6 +94,7 @@ class OnlineParamount {
   std::unique_ptr<ThreadPool> pool_;  // null in inline mode
   std::atomic<std::uint64_t> states_{0};
   std::atomic<std::uint64_t> intervals_{0};
+  std::atomic<std::uint64_t> inserts_since_gc_{0};
 };
 
 }  // namespace paramount

@@ -21,14 +21,19 @@ class OnlineRaceDetector final : public TraceSink {
   struct Options {
     EnumAlgorithm subroutine = EnumAlgorithm::kLexical;
     std::size_t async_workers = 0;  // 0 = enumerate inline (paper's setup)
+    obs::Telemetry* telemetry = nullptr;
+    // Sliding-window GC for long monitored runs (see OnlineParamount).
+    OnlineParamount::WindowPolicy window_policy;
   };
 
   OnlineRaceDetector(std::size_t num_threads, Options options)
-      : paramount_(num_threads, {options.subroutine, options.async_workers},
+      : paramount_(num_threads,
+                   {options.subroutine, options.async_workers,
+                    options.telemetry, options.window_policy},
                    [this](const OnlinePoset& poset, EventId owner,
                           const Frontier& state) {
-                     check_races(poset, *access_table_, owner, state,
-                                 report_);
+                     check_races(poset, *access_table_, owner, state, report_,
+                                 &window_evictions_);
                    }) {}
 
   // Must be called with the runtime's access table before tracing starts.
@@ -46,13 +51,21 @@ class OnlineRaceDetector final : public TraceSink {
 
   const RaceReport& report() const { return report_; }
   const OnlinePoset& poset() const { return paramount_.poset(); }
+  OnlineParamount& paramount() { return paramount_; }
   std::uint64_t states_enumerated() const {
     return paramount_.states_enumerated();
+  }
+
+  // Candidate pairs dropped because the older event left the sliding window
+  // (zero under the pin protocol; see check_races).
+  std::uint64_t window_evictions() const {
+    return window_evictions_.load(std::memory_order_relaxed);
   }
 
  private:
   const AccessTable* access_table_ = nullptr;
   RaceReport report_;
+  std::atomic<std::uint64_t> window_evictions_{0};
   OnlineParamount paramount_;
 };
 

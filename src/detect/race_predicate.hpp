@@ -14,11 +14,27 @@
 // Algorithm 5 looks for it.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+
 #include "detect/race_report.hpp"
 #include "poset/global_state.hpp"
 #include "runtime/access.hpp"
 
 namespace paramount {
+
+namespace detail {
+// Whether the frontier event (tid, index) is still resident. Posets without
+// a sliding window (the offline Poset) have no is_live(); everything is.
+template <typename PosetT>
+bool frontier_event_live(const PosetT& poset, ThreadId tid, EventIndex index) {
+  if constexpr (requires { poset.is_live(tid, index); }) {
+    return poset.is_live(tid, index);
+  } else {
+    return true;
+  }
+}
+}  // namespace detail
 
 // True iff accesses a and b conflict under the paper's rules.
 inline bool accesses_conflict(const Access& a, const Access& b) {
@@ -28,9 +44,27 @@ inline bool accesses_conflict(const Access& a, const Access& b) {
 
 // Algorithm 6 over one enumerated state. `owner` must be in G's frontier.
 // Non-collection frontier events carry no accesses and are skipped.
+//
+// Under a sliding window (OnlinePoset with GC), a candidate whose event has
+// been reclaimed cannot be examined; such pairs are dropped and counted in
+// `window_evictions` rather than silently missed. With the EnumGuard pin
+// protocol every state in [Gmin, Gbnd] stays resident for the enumeration's
+// lifetime, so evictions only occur when collect() is driven past unpinned
+// intervals (e.g. manual collect() calls between submit and a deferred
+// re-check).
 template <typename PosetT>
 void check_races(const PosetT& poset, const AccessTable& table, EventId owner,
-                 const Frontier& state, RaceReport& report) {
+                 const Frontier& state, RaceReport& report,
+                 std::atomic<std::uint64_t>* window_evictions = nullptr) {
+  const auto evicted = [window_evictions] {
+    if (window_evictions != nullptr) {
+      window_evictions->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (!detail::frontier_event_live(poset, owner.tid, owner.index)) {
+    evicted();
+    return;
+  }
   const Event& e = poset.event(owner.tid, owner.index);
   if (e.kind != OpKind::kCollection) return;
   if (state[owner.tid] != owner.index) {
@@ -44,6 +78,10 @@ void check_races(const PosetT& poset, const AccessTable& table, EventId owner,
 
   for (ThreadId i = 0; i < poset.num_threads(); ++i) {
     if (i == owner.tid || state[i] == 0) continue;
+    if (!detail::frontier_event_live(poset, i, state[i])) {
+      evicted();
+      continue;
+    }
     const Event& f = poset.event(i, state[i]);
     if (f.kind != OpKind::kCollection) continue;
     // Frontier events of different threads are usually concurrent, but the

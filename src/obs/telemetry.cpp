@@ -24,8 +24,10 @@ bool write_file(const std::string& path, const std::string& contents,
 }  // namespace
 
 Telemetry::Telemetry(std::size_t num_shards,
-                     std::size_t trace_capacity_per_shard)
-    : metrics_(num_shards), tracer_(num_shards, trace_capacity_per_shard) {
+                     std::size_t trace_capacity_per_shard,
+                     SpanTracer::OverflowPolicy trace_overflow)
+    : metrics_(num_shards),
+      tracer_(num_shards, trace_capacity_per_shard, trace_overflow) {
   states = metrics_.counter("paramount.states");
   intervals = metrics_.counter("paramount.intervals");
   claims = metrics_.counter("paramount.claims");
@@ -33,6 +35,11 @@ Telemetry::Telemetry(std::size_t num_shards,
   pool_tasks = metrics_.counter("pool.tasks");
   steals = metrics_.counter("pool.steals");
   steal_fail = metrics_.counter("pool.steal_fail");
+  spans_dropped = metrics_.counter("tracer.spans_dropped");
+  window_evictions = metrics_.counter("detect.window_evictions");
+  poset_resident_bytes = metrics_.gauge("poset.resident_bytes");
+  poset_reclaimed_events = metrics_.gauge("poset.reclaimed_events");
+  tracer_.set_drop_counter(&metrics_, spans_dropped);
   interval_states = metrics_.histogram("paramount.interval_states");
   interval_ns = metrics_.histogram("paramount.interval_ns");
   queue_wait_ns = metrics_.histogram("pool.queue_wait_ns");

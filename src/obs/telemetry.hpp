@@ -21,7 +21,9 @@ class Telemetry {
  public:
   explicit Telemetry(
       std::size_t num_shards,
-      std::size_t trace_capacity_per_shard = SpanTracer::kDefaultCapacityPerShard);
+      std::size_t trace_capacity_per_shard = SpanTracer::kDefaultCapacityPerShard,
+      SpanTracer::OverflowPolicy trace_overflow =
+          SpanTracer::OverflowPolicy::kDropNewest);
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -47,6 +49,12 @@ class Telemetry {
   MetricId pool_tasks;       // thread-pool tasks executed
   MetricId steals;           // acquisitions satisfied by stealing (thief shard)
   MetricId steal_fail;       // steal probes that found a victim empty
+  MetricId spans_dropped;    // trace spans lost to a full shard buffer
+  MetricId window_evictions;  // detector pairs dropped: event left the window
+  // Gauges. Poset-wide values (not per-worker); gauge totals sum across
+  // shards, so the drivers write these on shard 0 only.
+  MetricId poset_resident_bytes;    // event storage resident after last GC
+  MetricId poset_reclaimed_events;  // cumulative events reclaimed by GC
   // Histograms.
   MetricId interval_states;  // states per interval (log2 buckets)
   MetricId interval_ns;      // wall time per interval enumeration

@@ -2,9 +2,27 @@
 
 namespace paramount {
 
+namespace {
+// Out-of-lock snapshot attempts before falling back to the insertion lock.
+// Each retry re-reads every per-thread counter; a handful is enough unless
+// the writer is saturating the poset, where the exact locked read is both
+// correct and cheap.
+constexpr int kSnapshotRetries = 8;
+}  // namespace
+
+Frontier OnlinePoset::published_frontier() const {
+  Frontier f(num_threads());
+  for (int attempt = 0; attempt < kSnapshotRetries; ++attempt) {
+    for (ThreadId t = 0; t < num_threads(); ++t) f[t] = num_events(t);
+    if (is_consistent(f)) return f;
+  }
+  std::lock_guard<std::mutex> guard(insert_mutex_);
+  return published_frontier_locked();
+}
+
 OnlinePoset::Inserted OnlinePoset::insert(ThreadId tid, OpKind kind,
                                           std::uint32_t object,
-                                          VectorClock clock) {
+                                          VectorClock clock, bool pin) {
   PM_CHECK(tid < threads_.size());
   PM_CHECK(clock.size() == num_threads());
 
@@ -23,6 +41,14 @@ OnlinePoset::Inserted OnlinePoset::insert(ThreadId tid, OpKind kind,
     PM_CHECK_MSG(clock[j] <= num_events(j),
                  "clock references an event not yet inserted");
   }
+  // Per-thread clocks are monotone (e_t[i] happens-before e_t[i+1] and
+  // clocks are transitively closed). The sliding-window watermark *relies*
+  // on this to lower-bound future Gmins, so a violating trace must abort
+  // here rather than corrupt reclamation downstream.
+  if (e.id.index > 1) {
+    PM_CHECK_MSG(threads_[tid].events.back().vc.leq(clock),
+                 "per-thread vector clocks must be componentwise monotone");
+  }
   e.vc = clock;
 
   Inserted result;
@@ -35,8 +61,106 @@ OnlinePoset::Inserted OnlinePoset::insert(ThreadId tid, OpKind kind,
 
   // Gbnd(e): snapshot of maximal events after inserting e — exactly the
   // frontier of { f : f = e or f →p e } (Definition 1 via insertion order).
-  result.gbnd = published_frontier();
+  // Exact by construction: we hold the insertion lock.
+  result.gbnd = published_frontier_locked();
+
+  if (pin) {
+    // Registered before the insertion lock drops so no collect() can advance
+    // the watermark between publication and the pin taking effect.
+    result.pin_slot = register_pin_locked(result.gmin);
+  }
   return result;
+}
+
+std::uint32_t OnlinePoset::register_pin_locked(const Frontier& gmin) {
+  std::lock_guard<std::mutex> guard(pin_mutex_);
+  std::uint32_t slot;
+  if (!free_pin_slots_.empty()) {
+    slot = free_pin_slots_.back();
+    free_pin_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pin_slots_.size());
+    pin_slots_.emplace_back();
+  }
+  pin_slots_[slot].gmin = gmin;
+  pin_slots_[slot].active = true;
+  return slot;
+}
+
+void OnlinePoset::release_pin(std::uint32_t slot) {
+  std::lock_guard<std::mutex> guard(pin_mutex_);
+  PM_DCHECK(slot < pin_slots_.size());
+  PM_DCHECK(pin_slots_[slot].active);
+  pin_slots_[slot].active = false;
+  free_pin_slots_.push_back(slot);
+}
+
+OnlinePoset::EnumGuard OnlinePoset::pin_interval(const Frontier& gmin) {
+  // Take the insertion lock so the pin is ordered against any in-progress
+  // collect() (which holds it for the whole pass).
+  std::lock_guard<std::mutex> guard(insert_mutex_);
+  return EnumGuard(this, register_pin_locked(gmin));
+}
+
+std::size_t OnlinePoset::outstanding_pins() const {
+  std::lock_guard<std::mutex> guard(pin_mutex_);
+  return pin_slots_.size() - free_pin_slots_.size();
+}
+
+OnlinePoset::CollectStats OnlinePoset::collect() {
+  std::lock_guard<std::mutex> guard(insert_mutex_);
+  return collect_locked();
+}
+
+OnlinePoset::CollectStats OnlinePoset::collect_locked() {
+  CollectStats stats;
+  const std::size_t n = num_threads();
+
+  // Clock floor: a future event of thread t carries a clock at or above the
+  // clock of t's last event, so the componentwise minimum over all threads
+  // lower-bounds every future Gmin. A thread with no events yet could still
+  // reference anything already published — the floor stays at zero.
+  Frontier watermark(n);
+  for (ThreadId t = 0; t < n; ++t) {
+    if (num_events(t) == 0) {
+      stats.resident_bytes = heap_bytes();
+      return stats;
+    }
+    const VectorClock& last = threads_[t].events.back().vc;
+    for (ThreadId j = 0; j < n; ++j) {
+      watermark[j] = t == 0 ? last[j] : std::min(watermark[j], last[j]);
+    }
+  }
+
+  // In-flight intervals: their boxes start at Gmin, so every pinned Gmin
+  // clamps the watermark (a stalled enumeration pins its epoch until its
+  // EnumGuard is released).
+  {
+    std::lock_guard<std::mutex> pins(pin_mutex_);
+    for (const PinSlot& slot : pin_slots_) {
+      if (!slot.active) continue;
+      for (ThreadId j = 0; j < n; ++j) {
+        watermark[j] = std::min(watermark[j], slot.gmin[j]);
+      }
+    }
+  }
+
+  // Advance: index w[j] itself stays live (a future interval may have
+  // Gmin[j] == w[j] and read its clock); everything strictly below is dead.
+  std::uint64_t reclaimed_now = 0;
+  for (ThreadId j = 0; j < n; ++j) {
+    const EventIndex base = watermark[j] == 0 ? 0 : watermark[j] - 1;
+    const EventIndex old_base =
+        threads_[j].window_base.load(std::memory_order_relaxed);
+    if (base <= old_base) continue;
+    threads_[j].events.release_prefix(base);
+    threads_[j].window_base.store(base, std::memory_order_relaxed);
+    reclaimed_now += base - old_base;
+  }
+  reclaimed_events_.fetch_add(reclaimed_now, std::memory_order_relaxed);
+  stats.reclaimed_events = reclaimed_now;
+  stats.resident_bytes = heap_bytes();
+  return stats;
 }
 
 }  // namespace paramount

@@ -1,4 +1,6 @@
-// OnlinePoset: the concurrently growing poset of Algorithm 4.
+// OnlinePoset: the concurrently growing poset of Algorithm 4, with an
+// epoch-based sliding window so week-long monitored runs stay in bounded
+// memory.
 //
 // Tracer threads insert events one at a time under an internal mutex (the
 // paper's "atomic block"); the insertion order defines the total order →p.
@@ -8,11 +10,32 @@
 // read side is lock-free (Theorem 3: insertion does not interfere with
 // concurrent bounded enumerations).
 //
+// Sliding-window reclamation. Events strictly below the global watermark
+//   w[j] = min( min over in-flight intervals I of Gmin(I)[j],
+//               min over program threads t of vc(last event of t)[j] )
+// can never be read again:
+//   * every in-flight enumeration works inside its box [Gmin, Gbnd] and only
+//     reads indices >= Gmin[j] on thread j — pinned by an EnumGuard;
+//   * every *future* event e' of thread t satisfies e'.vc >= vc(last event
+//     of t) componentwise (per-thread clocks are monotone — insert() checks
+//     this), so Gmin(e')[j] >= w[j] and the future interval's box starts at
+//     or above the watermark.
+// collect() computes w, advances each thread's window_base to w[j] - 1 and
+// retires the underlying storage segments. The watermark is monotone, so
+// window_base only ever advances. Threads that have not yet produced any
+// event pin the watermark at zero (their first event's clock could reference
+// anything already published).
+//
 // OnlinePoset satisfies the PosetLike read concept used by the enumerators:
 //   num_threads(), num_events(tid), vc(tid, index), event(tid, index),
-//   empty_frontier(), is_consistent(frontier).
+//   empty_frontier(), is_consistent(frontier). With a sliding window active
+// the reads are only valid for live indices (index > window_base(tid));
+// vc()/event() enforce this with a debug assertion, and is_live() lets
+// detectors drop candidates that left the window instead of crashing.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -39,6 +62,7 @@ class OnlinePoset {
   const Event& event(ThreadId tid, EventIndex index) const {
     PM_DCHECK(tid < threads_.size());
     PM_DCHECK(index >= 1);
+    PM_DCHECK(is_live(tid, index));  // reclaimed slots must never be read
     return threads_[tid].events[index - 1];
   }
 
@@ -49,13 +73,14 @@ class OnlinePoset {
   Frontier empty_frontier() const { return Frontier(num_threads()); }
 
   // Snapshot of the currently published maximal events of every thread.
-  // Taken outside the insertion lock it is a *plausible* frontier; Gbnd
-  // snapshots taken inside insert() are exact.
-  Frontier published_frontier() const {
-    Frontier f(num_threads());
-    for (ThreadId t = 0; t < num_threads(); ++t) f[t] = num_events(t);
-    return f;
-  }
+  // The per-thread counters are read at different instants, so a raw read
+  // can be *torn*: thread j's count, read late, may include events whose
+  // causal predecessors on an earlier-read thread were not counted — an
+  // inconsistent cut. The snapshot is therefore re-validated with
+  // is_consistent() and retried; if the writer keeps racing ahead, the
+  // insertion lock is taken for one exact read. Gbnd snapshots taken inside
+  // insert() hold the lock and stay exact with no validation.
+  Frontier published_frontier() const;
 
   bool is_consistent(const Frontier& frontier) const {
     for (ThreadId t = 0; t < num_threads(); ++t) {
@@ -71,7 +96,92 @@ class OnlinePoset {
     return total;
   }
 
+  // ---- sliding window ----
+
+  // Highest reclaimed index of the thread (0 = nothing reclaimed). Live
+  // indices are (window_base, num_events].
+  EventIndex window_base(ThreadId tid) const {
+    PM_DCHECK(tid < threads_.size());
+    return threads_[tid].window_base.load(std::memory_order_relaxed);
+  }
+
+  // Smallest index whose event is still resident (1-based).
+  EventIndex first_live_index(ThreadId tid) const {
+    return window_base(tid) + 1;
+  }
+
+  bool is_live(ThreadId tid, EventIndex index) const {
+    return index > window_base(tid);
+  }
+
+  // Total events reclaimed by collect() across all threads.
+  std::uint64_t reclaimed_events() const {
+    return reclaimed_events_.load(std::memory_order_relaxed);
+  }
+
+  // RAII pin: while alive, collect() will not advance the watermark past the
+  // pinned Gmin, so every index the guarded enumeration can read stays live.
+  class EnumGuard {
+   public:
+    EnumGuard() = default;
+    // Adopts a pin slot returned by insert(..., pin=true).
+    EnumGuard(OnlinePoset* poset, std::uint32_t slot)
+        : poset_(slot == kNoPin ? nullptr : poset), slot_(slot) {}
+    EnumGuard(EnumGuard&& other) noexcept
+        : poset_(other.poset_), slot_(other.slot_) {
+      other.poset_ = nullptr;
+    }
+    EnumGuard& operator=(EnumGuard&& other) noexcept {
+      if (this != &other) {
+        release();
+        poset_ = other.poset_;
+        slot_ = other.slot_;
+        other.poset_ = nullptr;
+      }
+      return *this;
+    }
+    EnumGuard(const EnumGuard&) = delete;
+    EnumGuard& operator=(const EnumGuard&) = delete;
+    ~EnumGuard() { release(); }
+
+    bool active() const { return poset_ != nullptr; }
+
+    void release() {
+      if (poset_ != nullptr) {
+        poset_->release_pin(slot_);
+        poset_ = nullptr;
+      }
+    }
+
+   private:
+    OnlinePoset* poset_ = nullptr;
+    std::uint32_t slot_ = 0;
+  };
+
+  // Pins `gmin` against reclamation (test/tooling entry point; insert()'s
+  // pin flag is the atomic variant used by the drivers). Precondition:
+  // every component of gmin is at or above the current watermark, which
+  // holds for any Gmin derived from a live event.
+  EnumGuard pin_interval(const Frontier& gmin);
+
+  // Number of currently outstanding pins (diagnostics).
+  std::size_t outstanding_pins() const;
+
+  struct CollectStats {
+    std::uint64_t reclaimed_events = 0;  // newly reclaimed by this pass
+    std::size_t resident_bytes = 0;      // heap bytes after the pass
+  };
+
+  // One sliding-window reclamation pass: computes the watermark from the
+  // per-thread clock floors and the outstanding pins, advances every
+  // thread's window base, and retires dead storage segments. Serializes
+  // with insert(). Safe to call concurrently with enumerations that hold
+  // an EnumGuard.
+  CollectStats collect();
+
   // ---- insertion (Algorithm 4's atomic block) ----
+
+  static constexpr std::uint32_t kNoPin = 0xffffffffu;
 
   struct Inserted {
     EventId id;
@@ -79,15 +189,21 @@ class OnlinePoset {
     Frontier gbnd;       // snapshot of maximal events, including this event
     std::uint64_t position;  // 0-based position in the total order →p
     bool first;          // true for the very first event in →p
+    std::uint32_t pin_slot = kNoPin;  // adopt with EnumGuard{poset, pin_slot}
   };
 
   // Inserts an event whose vector clock has already been computed by the
   // tracing layer (Algorithm 3). The clock's own component must equal the
-  // event's 1-based index on its thread.
+  // event's 1-based index on its thread. With pin=true the interval's Gmin
+  // is pinned against reclamation before the insertion lock is dropped
+  // (atomically with the insert, so no collect() can slip in between); the
+  // caller adopts the pin into an EnumGuard and releases it when the
+  // interval's enumeration finishes.
   Inserted insert(ThreadId tid, OpKind kind, std::uint32_t object,
-                  VectorClock clock);
+                  VectorClock clock, bool pin = false);
 
-  // Bytes held by the event storage, for the memory benches.
+  // Bytes held by the event storage, for the memory benches and the byte
+  // high-water GC trigger.
   std::size_t heap_bytes() const {
     std::size_t bytes = 0;
     for (const PerThread& pt : threads_) bytes += pt.events.heap_bytes();
@@ -95,13 +211,39 @@ class OnlinePoset {
   }
 
  private:
+  friend class EnumGuard;
+
   struct PerThread {
     StableVector<Event> events;
+    std::atomic<EventIndex> window_base{0};
   };
 
+  struct PinSlot {
+    Frontier gmin;
+    bool active = false;
+  };
+
+  Frontier published_frontier_locked() const {
+    Frontier f(num_threads());
+    for (ThreadId t = 0; t < num_threads(); ++t) f[t] = num_events(t);
+    return f;
+  }
+
+  std::uint32_t register_pin_locked(const Frontier& gmin);
+  void release_pin(std::uint32_t slot);
+  CollectStats collect_locked();
+
   std::vector<PerThread> threads_;
-  std::mutex insert_mutex_;
+  mutable std::mutex insert_mutex_;
   std::uint64_t next_position_ = 0;
+
+  // Pin registry: slots have stable identity; structure and contents are
+  // guarded by pin_mutex_ (locked after insert_mutex_ where both are held).
+  mutable std::mutex pin_mutex_;
+  std::deque<PinSlot> pin_slots_;
+  std::vector<std::uint32_t> free_pin_slots_;
+
+  std::atomic<std::uint64_t> reclaimed_events_{0};
 };
 
 }  // namespace paramount

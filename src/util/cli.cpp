@@ -17,6 +17,32 @@ namespace {
 
 }  // namespace
 
+bool parse_byte_size(const std::string& text, std::uint64_t* bytes) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || text[0] == '-') return false;
+  std::string suffix(end);
+  unsigned shift = 0;
+  if (!suffix.empty()) {
+    switch (suffix[0]) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      default: return false;
+    }
+    suffix = suffix.substr(1);
+    if (suffix != "" && suffix != "b" && suffix != "B" && suffix != "ib" &&
+        suffix != "iB") {
+      return false;
+    }
+  }
+  const auto v = static_cast<std::uint64_t>(value);
+  if (shift != 0 && v > (std::uint64_t{1} << (64 - shift)) - 1) return false;
+  *bytes = v << shift;
+  return true;
+}
+
 CliFlags::CliFlags(std::string program_description)
     : description_(std::move(program_description)) {}
 

@@ -12,6 +12,12 @@
 
 namespace paramount {
 
+// Parses a human-readable byte size: a non-negative integer with an optional
+// K/M/G suffix (binary multiples, case-insensitive, optional trailing "B" or
+// "iB" — "64M", "64MB", "64MiB" all mean 64 * 2^20). Returns false without
+// touching *bytes on malformed input or multiplication overflow.
+bool parse_byte_size(const std::string& text, std::uint64_t* bytes);
+
 class CliFlags {
  public:
   CliFlags(std::string program_description);

@@ -1,23 +1,42 @@
-// StableVector<T>: an append-only sequence with stable element addresses and
-// single-writer / multi-reader concurrency.
+// StableVector<T>: an append-only sequence with stable element addresses,
+// single-writer / multi-reader concurrency, and prefix reclamation.
 //
 // The online poset (Algorithm 4 of the paper) appends events to per-thread
 // sequences while enumeration workers concurrently read earlier elements.
 // std::vector cannot be used: growth relocates elements under the readers.
-// StableVector stores elements in geometrically growing segments that are
-// never moved; the published size is an atomic counter, so a reader that
-// observed size() == k may freely access indices [0, k) with no further
+// StableVector stores elements in segments that are never moved; the
+// published size is an atomic counter, so a reader that observed
+// size() == k may freely access indices [0, k) with no further
 // synchronization and no locks on the read path.
 //
-// Segment s holds Base * 2^s elements and covers the global index range
-// [Base * (2^s - 1), Base * (2^(s+1) - 1)); 48 segments are enough for any
-// realistic event count.
+// Long-lived monitored runs additionally need the *front* of the sequence to
+// be reclaimable: once the sliding-window watermark (see OnlinePoset) has
+// passed an index, its slot will never be read again and its memory should
+// return to the allocator. Two consequences for the layout:
+//   * segment capacity is capped at MaxSegment — purely geometric growth
+//     would leave the newest segment O(n) large, so resident memory could
+//     never drop below half the total event count no matter how much prefix
+//     is released;
+//   * release_prefix(n) frees every segment that lies entirely below n
+//     (segment granularity: a partially covered segment stays resident).
+//
+// Layout: segment s < kGeomSegments holds Base * 2^s elements (the classic
+// geometric ramp keeps small vectors small); every later segment holds
+// MaxSegment elements and is addressed through a two-level directory
+// (kTopSlots leaf blocks of kLeafSegments segment pointers each), so the
+// directory never relocates and capacity is ~kTopSlots * kLeafSegments *
+// MaxSegment elements per vector.
 //
 // Concurrency contract:
 //   * exactly one thread may call push_back() at a time (external mutual
 //     exclusion — the paper's "atomic block" — is the caller's job);
-//   * any number of threads may call size() and operator[] concurrently with
-//     the writer, provided the index was covered by an observed size().
+//   * release_prefix() must be serialized with push_back() by the caller
+//     (OnlinePoset runs both under its insertion mutex), and the caller
+//     guarantees no reader will ever again access an index below the
+//     released prefix (the EnumGuard watermark protocol);
+//   * any number of threads may call size(), heap_bytes() and operator[]
+//     concurrently with the writer, provided the index was covered by an
+//     observed size() and is at or above the released prefix.
 #pragma once
 
 #include <atomic>
@@ -29,12 +48,20 @@
 
 namespace paramount {
 
-template <typename T, std::size_t Base = 64>
+template <typename T, std::size_t Base = 64, std::size_t MaxSegment = 4096>
 class StableVector {
   static_assert(Base > 0 && (Base & (Base - 1)) == 0,
                 "Base must be a power of two");
+  static_assert((MaxSegment & (MaxSegment - 1)) == 0 && MaxSegment >= Base,
+                "MaxSegment must be a power of two >= Base");
   static constexpr std::size_t kBaseLog = std::bit_width(Base) - 1;
-  static constexpr std::size_t kMaxSegments = 48;
+  static constexpr std::size_t kMaxSegLog = std::bit_width(MaxSegment) - 1;
+  // Geometric segments Base, 2*Base, …, MaxSegment; everything after is a
+  // flat run of MaxSegment-sized segments.
+  static constexpr std::size_t kGeomSegments = kMaxSegLog - kBaseLog + 1;
+  static constexpr std::size_t kGeomCover = 2 * MaxSegment - Base;
+  static constexpr std::size_t kLeafSegments = 512;
+  static constexpr std::size_t kTopSlots = 512;
 
  public:
   StableVector() = default;
@@ -43,7 +70,15 @@ class StableVector {
   StableVector& operator=(const StableVector&) = delete;
 
   ~StableVector() {
-    for (auto& seg : segments_) delete[] seg.load(std::memory_order_relaxed);
+    for (auto& seg : geom_) delete[] seg.load(std::memory_order_relaxed);
+    for (auto& leaf_slot : leaves_) {
+      std::atomic<T*>* leaf = leaf_slot.load(std::memory_order_relaxed);
+      if (leaf == nullptr) continue;
+      for (std::size_t i = 0; i < kLeafSegments; ++i) {
+        delete[] leaf[i].load(std::memory_order_relaxed);
+      }
+      delete[] leaf;
+    }
   }
 
   // Number of elements visible to the calling thread. Acquire order pairs
@@ -61,52 +96,105 @@ class StableVector {
   std::size_t push_back(T value) {
     const std::size_t i = size_.load(std::memory_order_relaxed);
     const std::size_t s = segment_of(i);
-    // Hard bound (also lets the compiler prove the directory index is in
-    // range): 48 segments cover ~2^53 elements, unreachable in practice.
-    PM_CHECK_MSG(s < kMaxSegments, "StableVector capacity exhausted");
-    if (segments_[s].load(std::memory_order_relaxed) == nullptr) {
+    std::atomic<T*>& entry = segment_entry(s, /*allocate_leaf=*/true);
+    if (entry.load(std::memory_order_relaxed) == nullptr) {
       // Release so a reader that races to this segment through a published
       // size sees initialized storage.
-      segments_[s].store(new T[segment_capacity(s)],
-                         std::memory_order_release);
+      const std::size_t cap = segment_capacity(s);
+      entry.store(new T[cap], std::memory_order_release);
+      live_bytes_.fetch_add(cap * sizeof(T), std::memory_order_relaxed);
     }
     *slot(i) = std::move(value);
     size_.store(i + 1, std::memory_order_release);
     return i;
   }
 
-  // Heap bytes owned by allocated segments, for memory accounting.
-  std::size_t heap_bytes() const {
-    std::size_t total = 0;
-    for (std::size_t s = 0; s < kMaxSegments; ++s) {
-      if (segments_[s].load(std::memory_order_relaxed) != nullptr) {
-        total += segment_capacity(s) * sizeof(T);
+  // Frees every segment that lies entirely below index `n`. The caller must
+  // serialize this with push_back() and guarantee no reader will touch
+  // indices below `n` again (see the concurrency contract above). Only whole
+  // segments are reclaimed, so released() may lag `n` by up to one segment.
+  void release_prefix(std::size_t n) {
+    const std::size_t published = size_.load(std::memory_order_relaxed);
+    if (n > published) n = published;
+    while (true) {
+      const std::size_t s = next_release_;
+      if (segment_start(s) + segment_capacity(s) > n) break;
+      std::atomic<T*>& entry = segment_entry(s, /*allocate_leaf=*/false);
+      T* seg = entry.load(std::memory_order_relaxed);
+      if (seg != nullptr) {
+        entry.store(nullptr, std::memory_order_release);
+        delete[] seg;
+        live_bytes_.fetch_sub(segment_capacity(s) * sizeof(T),
+                              std::memory_order_relaxed);
       }
+      ++next_release_;
     }
-    return total;
+  }
+
+  // Elements whose storage has been returned to the allocator (a lower bound
+  // on every release_prefix(n) argument so far, rounded down to a segment
+  // boundary). Indices below this must never be accessed again.
+  std::size_t released() const { return segment_start(next_release_); }
+
+  // Heap bytes currently owned (live segments + directory leaves). A relaxed
+  // counter: callable concurrently with the writer and the releaser.
+  std::size_t heap_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
   }
 
  private:
   static std::size_t segment_of(std::size_t i) {
-    return std::bit_width(i + Base) - 1 - kBaseLog;
+    if (i < kGeomCover) return std::bit_width(i + Base) - 1 - kBaseLog;
+    return kGeomSegments + ((i - kGeomCover) >> kMaxSegLog);
   }
   static std::size_t segment_start(std::size_t s) {
-    return Base * ((std::size_t{1} << s) - 1);
+    if (s < kGeomSegments) return Base * ((std::size_t{1} << s) - 1);
+    return kGeomCover + ((s - kGeomSegments) << kMaxSegLog);
   }
   static std::size_t segment_capacity(std::size_t s) {
-    return Base << s;
+    return s < kGeomSegments ? (Base << s) : MaxSegment;
+  }
+
+  // Directory entry for segment ordinal s. For flat segments the leaf block
+  // is allocated on demand by the writer; readers and the releaser only ever
+  // visit leaves that already exist.
+  std::atomic<T*>& segment_entry(std::size_t s, bool allocate_leaf) {
+    if (s < kGeomSegments) return geom_[s];
+    const std::size_t flat = s - kGeomSegments;
+    const std::size_t top = flat / kLeafSegments;
+    PM_CHECK_MSG(top < kTopSlots, "StableVector capacity exhausted");
+    std::atomic<T*>* leaf = leaves_[top].load(std::memory_order_acquire);
+    if (leaf == nullptr) {
+      PM_CHECK(allocate_leaf);  // single writer allocates in index order
+      leaf = new std::atomic<T*>[kLeafSegments]();
+      live_bytes_.fetch_add(kLeafSegments * sizeof(std::atomic<T*>),
+                            std::memory_order_relaxed);
+      leaves_[top].store(leaf, std::memory_order_release);
+    }
+    return leaf[flat % kLeafSegments];
   }
 
   T* slot(std::size_t i) const {
     const std::size_t s = segment_of(i);
-    PM_CHECK_MSG(s < kMaxSegments, "StableVector index out of range");
-    T* seg = segments_[s].load(std::memory_order_acquire);
-    PM_DCHECK(seg != nullptr);
+    T* seg;
+    if (s < kGeomSegments) {
+      seg = geom_[s].load(std::memory_order_acquire);
+    } else {
+      const std::size_t flat = s - kGeomSegments;
+      std::atomic<T*>* leaf =
+          leaves_[flat / kLeafSegments].load(std::memory_order_acquire);
+      PM_DCHECK(leaf != nullptr);
+      seg = leaf[flat % kLeafSegments].load(std::memory_order_acquire);
+    }
+    PM_DCHECK(seg != nullptr);  // fires on access below the released prefix
     return seg + (i - segment_start(s));
   }
 
-  std::atomic<T*> segments_[kMaxSegments] = {};
+  std::atomic<T*> geom_[kGeomSegments] = {};
+  std::atomic<std::atomic<T*>*> leaves_[kTopSlots] = {};
   std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> live_bytes_{0};
+  std::size_t next_release_ = 0;  // serialized with push_back by the caller
 };
 
 }  // namespace paramount

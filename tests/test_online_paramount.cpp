@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <mutex>
 #include <thread>
 
@@ -93,6 +94,53 @@ TEST(OnlinePoset, Figure8BoundaryDependsOnInsertionOrder) {
     const auto e12 = poset.insert(0, OpKind::kInternal, 0, VectorClock{2, 1});
     EXPECT_EQ(key_of(e12.gbnd), (Key{2, 2}));
   }
+}
+
+// Regression: the out-of-lock published_frontier() used to read the
+// per-thread counters at different instants, so a reader racing a writer
+// could observe a *torn* cut — thread 1's count read late includes events
+// whose thread-0 predecessors were not counted. The writer below makes every
+// thread-1 event depend on the latest thread-0 event, so any torn read is an
+// inconsistent frontier; the snapshot must validate-and-retry (or fall back
+// to the insertion lock) instead.
+TEST(OnlinePoset, PublishedFrontierHammerStaysConsistent) {
+  // 8 threads widen the snapshot's read window: the reader scans 8 counters
+  // while the writer publishes rounds of 8 mutually dependent events, so a
+  // torn (unvalidated) snapshot reliably catches an earlier-read counter
+  // that is stale relative to a later-read one.
+  constexpr ThreadId kThreads = 8;
+  OnlinePoset poset(kThreads);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const Frontier f = poset.published_frontier();
+        if (!poset.is_consistent(f)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (EventIndex i = 1; i <= 40000; ++i) {
+    // Round i: thread t's event depends on every event this round published
+    // before it, so any cut where an earlier thread's count trails a later
+    // thread's is inconsistent.
+    for (ThreadId t = 0; t < kThreads; ++t) {
+      VectorClock vc(kThreads);
+      for (ThreadId j = 0; j < kThreads; ++j) {
+        vc[j] = j <= t ? i : i - 1;
+      }
+      poset.insert(t, OpKind::kInternal, 0, std::move(vc));
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(torn.load(), 0u);
 }
 
 TEST(OnlineParamount, SequentialReplayMatchesOracle) {

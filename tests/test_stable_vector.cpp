@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -56,6 +57,64 @@ TEST(StableVector, MutableAccess) {
   v.push_back(1);
   v[0] = 99;
   EXPECT_EQ(v[0], 99);
+}
+
+TEST(StableVector, ReleasePrefixFreesWholeSegmentsOnly) {
+  // Segments: 4, 8, 16, 16, 16, ... (Base=4, MaxSegment=16).
+  StableVector<int, 4, 16> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  const auto full = v.heap_bytes();
+
+  // n = 10 covers segment 0 ([0,4)) entirely but only part of segment 1
+  // ([4,12)): exactly one segment's worth of storage goes back.
+  v.release_prefix(10);
+  EXPECT_EQ(v.released(), 4u);
+  EXPECT_EQ(v.heap_bytes(), full - 4 * sizeof(int));
+
+  // Surviving elements keep their values and addresses.
+  for (int i = 4; i < 100; ++i) ASSERT_EQ(v[i], i);
+
+  // Releasing the same prefix again is a no-op.
+  v.release_prefix(10);
+  EXPECT_EQ(v.released(), 4u);
+  EXPECT_EQ(v.heap_bytes(), full - 4 * sizeof(int));
+}
+
+TEST(StableVector, ReleasePrefixIsMonotoneAndClamped) {
+  StableVector<int, 4, 16> v;
+  for (int i = 0; i < 60; ++i) v.push_back(i);
+
+  // Far past the end: clamps to size(); every full segment below 60 goes.
+  v.release_prefix(1000);
+  // Segment starts: 0, 4, 12, 28, 44, 60 — all five segments below 60 free.
+  EXPECT_EQ(v.released(), 60u);
+
+  // A smaller n afterwards must not resurrect or double-free anything.
+  v.release_prefix(5);
+  EXPECT_EQ(v.released(), 60u);
+
+  // Appending continues after a full release.
+  const std::size_t idx = v.push_back(777);
+  EXPECT_EQ(idx, 60u);
+  EXPECT_EQ(v[60], 777);
+  EXPECT_EQ(v.size(), 61u);
+}
+
+TEST(StableVector, ReleasePrefixBoundsResidencyUnderStreaming) {
+  // Streaming append + periodic release: resident bytes must stay bounded by
+  // a few max-sized segments instead of growing with the total count.
+  StableVector<std::uint64_t, 64, 256> v;
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < 64 * 1024; ++i) {
+    v.push_back(i);
+    if (i % 1024 == 0 && i > 512) v.release_prefix(i - 512);
+    peak = std::max(peak, v.heap_bytes());
+  }
+  // Unreleased storage would be 64Ki * 8 = 512 KiB of elements alone; with
+  // the 512-element live tail, element residency is a handful of segments.
+  EXPECT_LT(peak, 64 * 1024u * sizeof(std::uint64_t) / 4);
+  EXPECT_GT(v.released(), 60 * 1024u);
+  for (std::size_t i = v.released(); i < v.size(); ++i) ASSERT_EQ(v[i], i);
 }
 
 // Single writer appends while several readers continuously validate every

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <variant>
@@ -422,6 +423,70 @@ TEST(Tracer, DropsBeyondCapacityAndCounts) {
   JsonParser parser(tracer.to_chrome_json());
   parser.parse();
   EXPECT_FALSE(parser.failed());
+}
+
+TEST(Tracer, RingNewestKeepsLatestSpansAndCountsLosses) {
+  PM_SKIP_IF_NO_TELEMETRY();
+  SpanTracer tracer(1, /*capacity_per_shard=*/4,
+                    SpanTracer::OverflowPolicy::kRingNewest);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.record(0, "e", "c", /*start_ns=*/i, 1, "ordinal", i);
+  }
+  // The buffer stays at capacity; the 6 *oldest* spans were the ones lost.
+  EXPECT_EQ(tracer.recorded(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+
+  JsonParser parser(tracer.to_chrome_json());
+  const JsonValue doc = parser.parse();
+  ASSERT_FALSE(parser.failed());
+  std::set<double> ordinals;
+  for (const JsonValue& e : doc.at("traceEvents").array()) {
+    if (e.at("ph").string() == "X") {
+      ordinals.insert(e.at("args").at("ordinal").number());
+    }
+  }
+  EXPECT_EQ(ordinals, (std::set<double>{6, 7, 8, 9}));
+}
+
+TEST(Tracer, SpansDroppedCounterMirrorsLostSpansExactly) {
+  PM_SKIP_IF_NO_TELEMETRY();
+  Telemetry telemetry(2, /*trace_capacity_per_shard=*/4);
+  // Shard 0 overflows by 3; shard 1 stays within capacity.
+  for (int i = 0; i < 7; ++i) telemetry.tracer().record(0, "e", "c", i, 1);
+  for (int i = 0; i < 2; ++i) telemetry.tracer().record(1, "e", "c", i, 1);
+
+  const MetricsSnapshot snap = telemetry.snapshot();
+  const auto* drops = snap.find_counter("tracer.spans_dropped");
+  ASSERT_NE(drops, nullptr);
+  EXPECT_EQ(drops->total, telemetry.tracer().dropped());
+  EXPECT_EQ(drops->per_shard[0], 3u);
+  EXPECT_EQ(drops->per_shard[1], 0u);
+}
+
+TEST(Tracer, SpansDroppedCounterZeroWhenNothingLost) {
+  PM_SKIP_IF_NO_TELEMETRY();
+  Telemetry telemetry(1, /*trace_capacity_per_shard=*/16);
+  for (int i = 0; i < 10; ++i) telemetry.tracer().record(0, "e", "c", i, 1);
+  const MetricsSnapshot snap = telemetry.snapshot();
+  const auto* drops = snap.find_counter("tracer.spans_dropped");
+  ASSERT_NE(drops, nullptr);
+  EXPECT_EQ(drops->total, 0u);
+  EXPECT_EQ(telemetry.tracer().dropped(), 0u);
+}
+
+TEST(Tracer, PosetGaugesRegisteredInTelemetry) {
+  Telemetry telemetry(1);
+  telemetry.metrics().set(telemetry.poset_resident_bytes, 0, 12345);
+  telemetry.metrics().set(telemetry.poset_reclaimed_events, 0, 67);
+  const MetricsSnapshot snap = telemetry.snapshot();
+  const auto* resident = snap.find_gauge("poset.resident_bytes");
+  const auto* reclaimed = snap.find_gauge("poset.reclaimed_events");
+  ASSERT_NE(resident, nullptr);
+  ASSERT_NE(reclaimed, nullptr);
+  if constexpr (obs::kTelemetryEnabled) {
+    EXPECT_EQ(resident->total, 12345u);
+    EXPECT_EQ(reclaimed->total, 67u);
+  }
 }
 
 TEST(Tracer, NullTracerSpanIsInert) {

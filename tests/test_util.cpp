@@ -293,6 +293,51 @@ TEST(MemoryMeter, ExceptionCarriesDetails) {
   }
 }
 
+// ---- parse_byte_size ----
+
+TEST(ParseByteSize, PlainDecimalIsBytes) {
+  std::uint64_t bytes = 0;
+  ASSERT_TRUE(parse_byte_size("1048576", &bytes));
+  EXPECT_EQ(bytes, 1048576u);
+  ASSERT_TRUE(parse_byte_size("0", &bytes));
+  EXPECT_EQ(bytes, 0u);
+}
+
+TEST(ParseByteSize, BinarySuffixesCaseInsensitive) {
+  std::uint64_t bytes = 0;
+  ASSERT_TRUE(parse_byte_size("512k", &bytes));
+  EXPECT_EQ(bytes, 512u << 10);
+  ASSERT_TRUE(parse_byte_size("64M", &bytes));
+  EXPECT_EQ(bytes, std::uint64_t{64} << 20);
+  ASSERT_TRUE(parse_byte_size("2G", &bytes));
+  EXPECT_EQ(bytes, std::uint64_t{2} << 30);
+  ASSERT_TRUE(parse_byte_size("64MB", &bytes));
+  EXPECT_EQ(bytes, std::uint64_t{64} << 20);
+  ASSERT_TRUE(parse_byte_size("64MiB", &bytes));
+  EXPECT_EQ(bytes, std::uint64_t{64} << 20);
+  ASSERT_TRUE(parse_byte_size("1gb", &bytes));
+  EXPECT_EQ(bytes, std::uint64_t{1} << 30);
+}
+
+TEST(ParseByteSize, RejectsMalformedInput) {
+  std::uint64_t bytes = 99;
+  EXPECT_FALSE(parse_byte_size("", &bytes));
+  EXPECT_FALSE(parse_byte_size("abc", &bytes));
+  EXPECT_FALSE(parse_byte_size("-64M", &bytes));
+  EXPECT_FALSE(parse_byte_size("64Q", &bytes));
+  EXPECT_FALSE(parse_byte_size("64Mx", &bytes));
+  EXPECT_FALSE(parse_byte_size("M", &bytes));
+  EXPECT_EQ(bytes, 99u);  // failed parses leave the output untouched
+}
+
+TEST(ParseByteSize, RejectsShiftOverflow) {
+  std::uint64_t bytes = 0;
+  // 2^34 GiB would overflow 64-bit bytes; just inside the limit is fine.
+  EXPECT_FALSE(parse_byte_size("17179869184G", &bytes));
+  ASSERT_TRUE(parse_byte_size("17179869183G", &bytes));
+  EXPECT_EQ(bytes, std::uint64_t{17179869183u} << 30);
+}
+
 // ---- FunctionRef ----
 
 TEST(FunctionRef, InvokesLambda) {

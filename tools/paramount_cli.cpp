@@ -20,6 +20,11 @@
 #include <limits>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "core/online_paramount.hpp"
 #include "core/paramount.hpp"
 #include "detect/conjunctive.hpp"
 #include "obs/telemetry.hpp"
@@ -30,6 +35,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "workloads/event_stream.hpp"
 #include "workloads/random_poset.hpp"
 
 using namespace paramount;
@@ -57,6 +63,52 @@ std::string format_ns(double ns) {
   return format_seconds(ns * 1e-9);
 }
 
+// Peak resident set size of this process, 0 where unsupported.
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+obs::SpanTracer::OverflowPolicy trace_overflow(const CliFlags& flags) {
+  return flags.get_bool("trace-ring")
+             ? obs::SpanTracer::OverflowPolicy::kRingNewest
+             : obs::SpanTracer::OverflowPolicy::kDropNewest;
+}
+
+// Writes --metrics-json / --trace-out if requested; returns the exit status.
+int export_telemetry(const obs::Telemetry& telemetry, const CliFlags& flags) {
+  int status = 0;
+  const std::string metrics_path = flags.get_string("metrics-json");
+  if (!metrics_path.empty()) {
+    if (telemetry.write_metrics_json(metrics_path)) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  const std::string trace_path = flags.get_string("trace-out");
+  if (!trace_path.empty()) {
+    if (telemetry.write_chrome_trace(trace_path)) {
+      std::printf(
+          "trace written to %s (open in ui.perfetto.dev or "
+          "chrome://tracing)\n",
+          trace_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  return status;
+}
+
 // Per-worker summary plus the interval-size histogram, from one snapshot.
 void print_telemetry_summary(const obs::Telemetry& telemetry,
                              double elapsed_seconds) {
@@ -74,9 +126,10 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
   }
 
   const obs::CounterSnapshot* steals = snap.find_counter("pool.steals");
+  const obs::CounterSnapshot* drops = snap.find_counter("tracer.spans_dropped");
 
-  Table workers(
-      {"worker", "states", "intervals", "steals", "states/s", "queue-wait"});
+  Table workers({"worker", "states", "intervals", "steals", "spans-drop",
+                 "states/s", "queue-wait"});
   for (std::size_t w = 0; w < snap.num_shards; ++w) {
     const double wait_mean =
         queue_wait->per_shard_count[w] == 0
@@ -87,6 +140,7 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
         {std::to_string(w), format_count(states->per_shard[w]),
          format_count(intervals->per_shard[w]),
          steals == nullptr ? "-" : format_count(steals->per_shard[w]),
+         drops == nullptr ? "-" : format_count(drops->per_shard[w]),
          format_si(static_cast<double>(states->per_shard[w]) /
                    elapsed_seconds),
          format_ns(wait_mean)});
@@ -95,6 +149,7 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
   workers.add_row({"all", format_count(states->total),
                    format_count(intervals->total),
                    steals == nullptr ? "-" : format_count(steals->total),
+                   drops == nullptr ? "-" : format_count(drops->total),
                    format_si(static_cast<double>(states->total) /
                              elapsed_seconds),
                    format_ns(queue_wait->quantile(0.5))});
@@ -134,7 +189,9 @@ int run_count(const Poset& poset, const CliFlags& flags) {
   options.topo_policy = parse_policy(flags.get_string("order"));
   const bool streaming = flags.get_bool("streaming");
 
-  obs::Telemetry telemetry(options.num_workers);
+  obs::Telemetry telemetry(options.num_workers,
+                           obs::SpanTracer::kDefaultCapacityPerShard,
+                           trace_overflow(flags));
   options.telemetry = &telemetry;
 
   WallTimer timer;
@@ -164,25 +221,114 @@ int run_count(const Poset& poset, const CliFlags& flags) {
   } else {
     std::printf("(telemetry compiled out: PARAMOUNT_NO_TELEMETRY)\n");
   }
-  int status = 0;
-  const std::string metrics_path = flags.get_string("metrics-json");
-  if (!metrics_path.empty()) {
-    if (telemetry.write_metrics_json(metrics_path)) {
-      std::printf("metrics written to %s\n", metrics_path.c_str());
-    } else {
-      status = 1;
+  return export_telemetry(telemetry, flags);
+}
+
+// Long-run online monitoring: streams synthetically generated events through
+// OnlineParamount with the sliding-window GC, reporting bounded-memory
+// figures in grep-friendly `key: value` lines (the CI memory-smoke job diffs
+// windowed vs unwindowed runs on them).
+int run_online(const CliFlags& flags) {
+  SyntheticEventStream::Params sp;
+  sp.num_threads = static_cast<std::size_t>(
+      flags.get_int_in_range("stream-threads", 1, 1 << 12));
+  sp.num_locks = static_cast<std::size_t>(
+      flags.get_int_in_range("stream-locks", 1, 1 << 12));
+  sp.sync_probability = flags.get_double("sync-prob");
+  sp.seed = static_cast<std::uint64_t>(flags.get_int_in_range(
+      "seed", 0, std::numeric_limits<std::int64_t>::max()));
+  const auto total_events = static_cast<std::uint64_t>(
+      flags.get_int_in_range("stream-events", 1, std::int64_t{1} << 40));
+
+  OnlineParamount::Options options;
+  options.subroutine = parse_algorithm(flags.get_string("algorithm"));
+  options.async_workers = static_cast<std::size_t>(
+      flags.get_int_in_range("async-workers", 0, 1 << 10));
+  OnlineParamount::WindowPolicy& wp = options.window_policy;
+  wp.gc_every = static_cast<std::uint64_t>(flags.get_int_in_range(
+      "gc-every", 0, std::numeric_limits<std::int64_t>::max()));
+  const std::string window_bytes = flags.get_string("window-bytes");
+  if (!window_bytes.empty()) {
+    std::uint64_t bytes = 0;
+    if (!parse_byte_size(window_bytes, &bytes)) {
+      std::fprintf(stderr,
+                   "error: --window-bytes expects e.g. 64M / 512K / 1G, got "
+                   "'%s'\n",
+                   window_bytes.c_str());
+      return 2;
+    }
+    wp.window_bytes = static_cast<std::size_t>(bytes);
+  }
+
+  obs::Telemetry telemetry(sp.num_threads + options.async_workers,
+                           obs::SpanTracer::kDefaultCapacityPerShard,
+                           trace_overflow(flags));
+  options.telemetry = &telemetry;
+
+  std::printf("online stream: %zu threads, %zu locks, %s events, "
+              "sync-prob %.2f, %s\n",
+              sp.num_threads, sp.num_locks,
+              format_count(total_events).c_str(), sp.sync_probability,
+              wp.enabled()
+                  ? ("window GC on (gc-every " + std::to_string(wp.gc_every) +
+                     ", window-bytes " + std::to_string(wp.window_bytes) + ")")
+                        .c_str()
+                  : "window GC off");
+
+  OnlineParamount driver(
+      sp.num_threads, options,
+      [](const OnlinePoset&, EventId, const Frontier&) {});
+  SyntheticEventStream stream(sp);
+
+  WallTimer timer;
+  std::size_t peak_bytes = 0;
+  for (std::uint64_t i = 0; i < total_events; ++i) {
+    SyntheticEventStream::StreamEvent ev = stream.next();
+    driver.submit(ev.tid, ev.kind, ev.object, std::move(ev.clock));
+    if ((i & 1023) == 0) {
+      peak_bytes = std::max(peak_bytes, driver.poset().heap_bytes());
     }
   }
-  const std::string trace_path = flags.get_string("trace-out");
-  if (!trace_path.empty()) {
-    if (telemetry.write_chrome_trace(trace_path)) {
-      std::printf(
-          "trace written to %s (open in ui.perfetto.dev or "
-          "chrome://tracing)\n",
-          trace_path.c_str());
-    } else {
-      status = 1;
+  driver.drain();
+  peak_bytes = std::max(peak_bytes, driver.poset().heap_bytes());
+  const OnlinePoset::CollectStats final_gc =
+      wp.enabled() ? driver.collect() : OnlinePoset::CollectStats{};
+  const double elapsed = timer.elapsed_seconds();
+
+  std::printf("states enumerated: %s (%s events/s), %s\n",
+              format_count(driver.states_enumerated()).c_str(),
+              format_si(static_cast<double>(total_events) / elapsed).c_str(),
+              format_seconds(elapsed).c_str());
+  std::printf("peak_poset_bytes: %zu\n", peak_bytes);
+  std::printf("resident_poset_bytes: %zu\n",
+              wp.enabled() ? final_gc.resident_bytes
+                           : driver.poset().heap_bytes());
+  std::printf("reclaimed_events: %llu\n",
+              static_cast<unsigned long long>(
+                  driver.poset().reclaimed_events()));
+  std::printf("spans_dropped: %llu\n",
+              static_cast<unsigned long long>(telemetry.tracer().dropped()));
+  std::printf("peak_rss_bytes: %zu\n", peak_rss_bytes());
+
+  if constexpr (obs::kTelemetryEnabled) {
+    print_telemetry_summary(telemetry, elapsed);
+  }
+
+  int status = export_telemetry(telemetry, flags);
+  const std::int64_t budget_mb =
+      flags.get_int_in_range("rss-budget-mb", 0, 1 << 20);
+  if (budget_mb > 0) {
+    const std::size_t budget =
+        static_cast<std::size_t>(budget_mb) * 1024 * 1024;
+    const std::size_t rss = peak_rss_bytes();
+    if (rss > budget) {
+      std::fprintf(stderr,
+                   "error: peak RSS %zu bytes exceeds --rss-budget-mb %lld\n",
+                   rss, static_cast<long long>(budget_mb));
+      return 1;
     }
+    std::printf("peak RSS within budget (%zu <= %lld MiB)\n", rss,
+                static_cast<long long>(budget_mb));
   }
   return status;
 }
@@ -209,7 +355,17 @@ int run_print(const Poset& poset, const CliFlags& flags) {
 
 int run_intervals(const Poset& poset, const CliFlags& flags) {
   const auto policy = parse_policy(flags.get_string("order"));
+  obs::Telemetry telemetry(1, obs::SpanTracer::kDefaultCapacityPerShard,
+                           trace_overflow(flags));
+  const std::uint64_t start_ns = telemetry.tracer().now_ns();
   const auto intervals = compute_intervals(poset, policy);
+  telemetry.tracer().record(0, "compute_intervals", "intervals", start_ns,
+                            telemetry.tracer().now_ns() - start_ns, "events",
+                            intervals.size());
+  for (const Interval& iv : intervals) {
+    telemetry.metrics().add(telemetry.intervals, 0);
+    telemetry.metrics().observe(telemetry.interval_states, 0, iv.box_cells());
+  }
   Table table({"event", "Gmin", "Gbnd", "box cells"});
   const auto limit = static_cast<std::size_t>(
       flags.get_int_in_range("limit", 0, std::numeric_limits<std::int64_t>::max()));
@@ -223,14 +379,18 @@ int run_intervals(const Poset& poset, const CliFlags& flags) {
     std::printf("... (%zu more intervals; raise --limit)\n",
                 intervals.size() - limit);
   }
-  return 0;
+  return export_telemetry(telemetry, flags);
 }
 
 int run_conjunctive(const Poset& poset, const CliFlags& flags) {
   const auto modulus = static_cast<std::uint64_t>(flags.get_int_in_range(
       "modulus", 1, std::numeric_limits<std::int64_t>::max()));
   auto predicate = [&](ThreadId, EventIndex i) { return i % modulus == 0; };
-  const ConjunctiveResult result = detect_conjunctive(poset, predicate);
+  // The detector is single-threaded: one shard, everything on shard 0.
+  obs::Telemetry telemetry(1, obs::SpanTracer::kDefaultCapacityPerShard,
+                           trace_overflow(flags));
+  const ConjunctiveResult result =
+      detect_conjunctive(poset, predicate, &telemetry, /*shard=*/0);
   if (result.detected) {
     std::printf("conjunction detected at least cut %s\n",
                 result.cut.to_string().c_str());
@@ -240,6 +400,8 @@ int run_conjunctive(const Poset& poset, const CliFlags& flags) {
   std::printf("events examined: %s (of %s)\n",
               format_count(result.events_examined).c_str(),
               format_count(poset.total_events()).c_str());
+  const int status = export_telemetry(telemetry, flags);
+  if (status != 0) return status;
   return result.detected ? 0 : 1;
 }
 
@@ -254,7 +416,8 @@ int main(int argc, char** argv) {
   flags.add_int("generate-events", 60, "generator: total events");
   flags.add_double("generate-prob", 0.9, "generator: message density");
   flags.add_int("seed", 1, "generator seed");
-  flags.add_string("mode", "count", "count | print | intervals | conjunctive");
+  flags.add_string("mode", "count",
+                   "count | print | intervals | conjunctive | online");
   flags.add_string("algorithm", "lexical",
                    "bfs | lexical | dfs (subroutine for count)");
   flags.add_string("order", "interleave",
@@ -267,13 +430,49 @@ int main(int argc, char** argv) {
   flags.add_bool("streaming", false,
                  "count mode: use the streaming driver (real queue waits)");
   flags.add_string("metrics-json", "",
-                   "count mode: write a metrics snapshot (JSON) here");
+                   "write a metrics snapshot (JSON) here");
   flags.add_string("trace-out", "",
-                   "count mode: write a Chrome trace_event JSON here");
+                   "write a Chrome trace_event JSON here");
+  flags.add_bool("trace-ring", false,
+                 "trace buffer keeps the newest spans (overwrite oldest) "
+                 "instead of dropping new ones when full");
   flags.add_int("limit", 50, "max states/intervals to print");
   flags.add_int("modulus", 3, "conjunctive mode: index % modulus == 0");
   flags.add_string("save", "", "also save the poset to this file");
+  flags.add_int("stream-events", 100000,
+                "online mode: events to stream through the monitor");
+  flags.add_int("stream-threads", 8, "online mode: program threads");
+  flags.add_int("stream-locks", 4, "online mode: shared locks");
+  flags.add_double("sync-prob", 0.2,
+                   "online mode: per-event lock-sync probability");
+  flags.add_int("async-workers", 0,
+                "online mode: pooled enumeration workers (0 = inline)");
+  flags.add_int("gc-every", 0,
+                "online mode: run sliding-window collect() every N inserts "
+                "(0 = never)");
+  flags.add_string("window-bytes", "",
+                   "online mode: collect() when poset storage exceeds this "
+                   "(e.g. 64M; empty = no byte trigger)");
+  flags.add_int("rss-budget-mb", 0,
+                "online mode: exit 1 if peak RSS exceeds this (0 = off)");
   if (!flags.parse(argc, argv)) return 0;
+
+  const std::string mode = flags.get_string("mode");
+  // print mode has no telemetry sink; passing telemetry flags there would
+  // silently produce nothing, so fail loudly instead.
+  const bool wants_telemetry = !flags.get_string("metrics-json").empty() ||
+                               !flags.get_string("trace-out").empty();
+  if (wants_telemetry && mode == "print") {
+    std::fprintf(stderr,
+                 "error: --metrics-json/--trace-out are not supported by "
+                 "--mode=print (use count, intervals, conjunctive, or "
+                 "online)\n");
+    return 2;
+  }
+
+  // Online mode monitors a generated stream; the offline poset inputs do not
+  // apply.
+  if (mode == "online") return run_online(flags);
 
   Poset poset{0};
   if (!flags.get_string("input").empty()) {
@@ -297,7 +496,6 @@ int main(int argc, char** argv) {
     std::printf("saved to %s\n", flags.get_string("save").c_str());
   }
 
-  const std::string mode = flags.get_string("mode");
   if (mode == "count") return run_count(poset, flags);
   if (mode == "print") return run_print(poset, flags);
   if (mode == "intervals") return run_intervals(poset, flags);
