@@ -74,6 +74,9 @@ void OnlineParamount::maybe_collect() {
   if (!wp.enabled()) return;
   bool due = false;
   if (wp.gc_every > 0) {
+    // relaxed: GC cadence heuristic — racing submitters may slightly over-
+    // or under-shoot gc_every, which shifts *when* a pass runs, never
+    // whether reclamation is correct (collect() re-derives the watermark).
     const std::uint64_t n =
         inserts_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (n >= wp.gc_every) {
@@ -113,6 +116,8 @@ void OnlineParamount::enumerate_interval(const OnlinePoset::Inserted& ins) {
       options_.subroutine, poset_, ins.gmin, ins.gbnd,
       [&](const Frontier& state) { visit_(poset_, ins.id, state); });
   states += stats.states;
+  // relaxed: monotone statistics counters; the final reads happen after
+  // drain()/destruction, which order all contributions.
   states_.fetch_add(states, std::memory_order_relaxed);
   intervals_.fetch_add(1, std::memory_order_relaxed);
   if (tel != nullptr) {

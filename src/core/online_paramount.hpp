@@ -77,6 +77,8 @@ class OnlineParamount {
 
   const OnlinePoset& poset() const { return poset_; }
 
+  // relaxed: monotone statistics counters — exact once drain() returned,
+  // merely fresh while intervals are still in flight.
   std::uint64_t states_enumerated() const {
     return states_.load(std::memory_order_relaxed);
   }

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 #include "util/work_stealing.hpp"
 
@@ -70,6 +70,15 @@ void record_steal(obs::Telemetry* tel, std::size_t worker,
   }
 }
 
+// Refreshes the live pool.queue_depth gauge for one worker's deque after a
+// claim or a refill (the ThreadPool samples its queues the same way).
+template <typename Scheduler>
+void sample_queue_depth(obs::Telemetry* tel, const Scheduler& scheduler,
+                        std::size_t worker) {
+  if (tel == nullptr) return;
+  tel->metrics().set(tel->queue_depth, worker, scheduler.size_approx(worker));
+}
+
 // Runs `worker(index)` on num_workers threads, index 0 on the caller.
 template <typename Worker>
 void run_workers(std::size_t num_workers, const Worker& worker) {
@@ -108,7 +117,7 @@ ParamountResult enumerate_paramount(const Poset& poset,
 
   std::atomic<std::uint64_t> total_states{0};
   std::atomic<bool> abort_flag{false};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::exception_ptr first_error;
 
   const std::size_t chunk = std::max<std::size_t>(options.chunk_size, 1);
@@ -128,6 +137,8 @@ ParamountResult enumerate_paramount(const Poset& poset,
         options.subroutine, poset, iv.gmin, iv.gbnd,
         [&](const Frontier& state) { visit(state); }, options.meter);
     states += stats.states;
+    // relaxed: monotone counter; the final load happens after the workers
+    // join, which orders every contribution.
     total_states.fetch_add(states, std::memory_order_relaxed);
     record_interval(tel, worker_index, start_ns, states);
     if (options.collect_interval_stats) {
@@ -137,8 +148,10 @@ ParamountResult enumerate_paramount(const Poset& poset,
   };
 
   auto fail = [&](std::exception_ptr error) {
-    std::lock_guard<std::mutex> guard(error_mutex);
+    MutexLock guard(error_mutex);
     if (!first_error) first_error = std::move(error);
+    // relaxed: advisory stop flag — a worker that misses it only processes
+    // one more interval; the error itself is published under error_mutex.
     abort_flag.store(true, std::memory_order_relaxed);
   };
 
@@ -156,6 +169,7 @@ ParamountResult enumerate_paramount(const Poset& poset,
 
     auto worker = [&](std::size_t worker_index) {
       try {
+        // relaxed: abort_flag is an advisory stop flag, see fail().
         while (!abort_flag.load(std::memory_order_relaxed)) {
           const std::uint64_t seek_ns =
               tel != nullptr ? tel->tracer().now_ns() : 0;
@@ -167,14 +181,20 @@ ParamountResult enumerate_paramount(const Poset& poset,
             record_steal(tel, worker_index, seek_ns, stole, failed_probes);
             // A failed sweep is definitive here: nothing is pushed after
             // the initial deal, and every deque's residue is drained by
-            // its owner.
-            if (!stole) return;
+            // its owner. Refresh the gauge on the way out so a deque that
+            // thieves drained doesn't leave a stale depth behind.
+            if (!stole) {
+              sample_queue_depth(tel, scheduler, worker_index);
+              return;
+            }
           }
           record_claim(tel, worker_index, seek_ns, "first_interval", begin);
+          sample_queue_depth(tel, scheduler, worker_index);
           const std::size_t end = std::min(begin + chunk, intervals.size());
           for (std::size_t i = begin; i < end; ++i) {
             // A sibling may have failed mid-chunk; don't run the rest of a
             // large chunk to completion against a doomed result.
+            // relaxed: advisory stop flag, see fail().
             if (abort_flag.load(std::memory_order_relaxed)) return;
             process_interval(i, worker_index);
           }
@@ -190,15 +210,19 @@ ParamountResult enumerate_paramount(const Poset& poset,
     std::atomic<std::size_t> next_interval{0};
     auto worker = [&](std::size_t worker_index) {
       try {
+        // relaxed: abort_flag is an advisory stop flag, see fail().
         while (!abort_flag.load(std::memory_order_relaxed)) {
           const std::uint64_t seek_ns =
               tel != nullptr ? tel->tracer().now_ns() : 0;
+          // relaxed: the RMW alone claims each chunk exactly once; interval
+          // data is immutable during the run, so no ordering piggybacks.
           const std::size_t begin =
               next_interval.fetch_add(chunk, std::memory_order_relaxed);
           if (begin >= intervals.size()) return;
           record_claim(tel, worker_index, seek_ns, "first_interval", begin);
           const std::size_t end = std::min(begin + chunk, intervals.size());
           for (std::size_t i = begin; i < end; ++i) {
+            // relaxed: advisory stop flag, see fail().
             if (abort_flag.load(std::memory_order_relaxed)) return;
             process_interval(i, worker_index);
           }
@@ -206,6 +230,7 @@ ParamountResult enumerate_paramount(const Poset& poset,
       } catch (...) {
         fail(std::current_exception());
         // Drain remaining intervals so sibling workers stop quickly.
+        // relaxed: best-effort fast-forward of the claim counter.
         next_interval.store(intervals.size(), std::memory_order_relaxed);
       }
     };
@@ -214,6 +239,7 @@ ParamountResult enumerate_paramount(const Poset& poset,
 
   if (first_error) std::rethrow_exception(first_error);
 
+  // relaxed: read after run_workers' joins, which order all contributions.
   result.states = total_states.load(std::memory_order_relaxed);
   if (options.meter != nullptr) {
     result.peak_bytes = options.meter->peak_bytes();
@@ -242,11 +268,11 @@ ParamountResult enumerate_paramount_streaming(
   }
 
   std::atomic<std::uint64_t> total_states{0};
-  std::mutex cursor_mutex;
+  Mutex cursor_mutex;
   std::size_t cursor = 0;
   Frontier running = poset.empty_frontier();  // guarded by cursor_mutex
   std::atomic<bool> abort_flag{false};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::exception_ptr first_error;
 
   const std::size_t chunk = std::max<std::size_t>(options.chunk_size, 1);
@@ -274,6 +300,7 @@ ParamountResult enumerate_paramount_streaming(
         options.subroutine, poset, gmin, claimed.gbnd,
         [&](const Frontier& state) { visit(state); }, options.meter);
     states += stats.states;
+    // relaxed: monotone counter, read after the joins; see the offline driver.
     total_states.fetch_add(states, std::memory_order_relaxed);
     record_interval(tel, worker_index, start_ns, states);
     if (options.collect_interval_stats) {
@@ -283,8 +310,9 @@ ParamountResult enumerate_paramount_streaming(
   };
 
   auto fail = [&](std::exception_ptr error) {
-    std::lock_guard<std::mutex> guard(error_mutex);
+    MutexLock guard(error_mutex);
     if (!first_error) first_error = std::move(error);
+    // relaxed: advisory stop flag; the error is published under error_mutex.
     abort_flag.store(true, std::memory_order_relaxed);
   };
 
@@ -300,6 +328,7 @@ ParamountResult enumerate_paramount_streaming(
       try {
         std::vector<Claimed*> batch;
         batch.reserve(chunk);
+        // relaxed: advisory stop flag, see fail().
         while (!abort_flag.load(std::memory_order_relaxed)) {
           const std::uint64_t seek_ns =
               tel != nullptr ? tel->tracer().now_ns() : 0;
@@ -320,7 +349,7 @@ ParamountResult enumerate_paramount_streaming(
               std::uint64_t acquired_ns = 0;
               std::uint64_t snapshot_done_ns = 0;
               {
-                std::lock_guard<std::mutex> guard(cursor_mutex);
+                MutexLock guard(cursor_mutex);
                 acquired_ns = tel != nullptr ? tel->tracer().now_ns() : 0;
                 while (cursor < order.size() && batch.size() < chunk) {
                   const std::size_t i = cursor++;
@@ -332,8 +361,12 @@ ParamountResult enumerate_paramount_streaming(
                     tel != nullptr ? tel->tracer().now_ns() : 0;
               }
               // Cursor exhausted after a failed sweep: retire. The only
-              // remaining items sit in deques whose owners drain them.
-              if (batch.empty()) return;
+              // remaining items sit in deques whose owners drain them; zero
+              // this worker's gauge so the exit doesn't leave a stale depth.
+              if (batch.empty()) {
+                sample_queue_depth(tel, scheduler, worker_index);
+                return;
+              }
               if (tel != nullptr) {
                 tel->metrics().observe(tel->gbnd_ns, worker_index,
                                        snapshot_done_ns - acquired_ns);
@@ -348,6 +381,7 @@ ParamountResult enumerate_paramount_streaming(
               }
             }
           }
+          sample_queue_depth(tel, scheduler, worker_index);
           std::unique_ptr<Claimed> owned(item);
           // Waits are measured from the claiming seek, not this worker's:
           // a popped or stolen event has been sitting in a deque since its
@@ -375,6 +409,7 @@ ParamountResult enumerate_paramount_streaming(
       try {
         std::vector<Claimed> batch;
         batch.reserve(chunk);
+        // relaxed: advisory stop flag, see fail().
         while (!abort_flag.load(std::memory_order_relaxed)) {
           batch.clear();
           const std::uint64_t seek_ns =
@@ -384,7 +419,7 @@ ParamountResult enumerate_paramount_streaming(
           {
             // The paper's atomic block: fetch the next event(s) in →p and
             // snapshot the boundary frontier after each.
-            std::lock_guard<std::mutex> guard(cursor_mutex);
+            MutexLock guard(cursor_mutex);
             acquired_ns = tel != nullptr ? tel->tracer().now_ns() : 0;
             while (cursor < order.size() && batch.size() < chunk) {
               const std::size_t i = cursor++;
@@ -406,6 +441,7 @@ ParamountResult enumerate_paramount_streaming(
                                  "events", batch.size());
           }
           for (const Claimed& claimed : batch) {
+            // relaxed: advisory stop flag, see fail().
             if (abort_flag.load(std::memory_order_relaxed)) return;
             // Mirrors the steal path's per-pop recording: a batch item
             // does not start until every batch-mate ahead of it finishes,
@@ -418,7 +454,7 @@ ParamountResult enumerate_paramount_streaming(
         }
       } catch (...) {
         fail(std::current_exception());
-        std::lock_guard<std::mutex> cursor_guard(cursor_mutex);
+        MutexLock cursor_guard(cursor_mutex);
         cursor = order.size();
       }
     };
@@ -426,6 +462,7 @@ ParamountResult enumerate_paramount_streaming(
   }
 
   if (first_error) std::rethrow_exception(first_error);
+  // relaxed: read after run_workers' joins, which order all contributions.
   result.states = total_states.load(std::memory_order_relaxed);
   if (options.meter != nullptr) {
     result.peak_bytes = options.meter->peak_bytes();

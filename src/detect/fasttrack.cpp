@@ -3,7 +3,7 @@
 namespace paramount {
 
 FastTrackDetector::VarState& FastTrackDetector::state_for(VarId var) {
-  std::lock_guard<std::mutex> guard(map_mutex_);
+  MutexLock guard(map_mutex_);
   auto& slot = vars_[var];
   if (slot == nullptr) slot = std::make_unique<VarState>();
   return *slot;
@@ -12,7 +12,7 @@ FastTrackDetector::VarState& FastTrackDetector::state_for(VarId var) {
 void FastTrackDetector::on_raw_access(ThreadId tid, VarId var, bool is_write,
                                       const VectorClock& clock) {
   VarState& vs = state_for(var);
-  std::lock_guard<std::mutex> guard(vs.mutex);
+  MutexLock guard(vs.mutex);
 
   const Epoch current{tid, clock[tid]};
 

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "detect/race_report.hpp"
 #include "runtime/trace_sink.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 
@@ -49,18 +49,21 @@ class FastTrackDetector final : public TraceSink {
   };
 
   struct VarState {
-    std::mutex mutex;  // racing accesses hit the same VarState concurrently
-    Epoch write;
-    Epoch read;            // valid while reads are totally ordered
-    VectorClock read_vc;   // inflated read vector (size 0 until needed)
-    bool read_shared = false;
+    Mutex mutex;  // racing accesses hit the same VarState concurrently
+    Epoch write PM_GUARDED_BY(mutex);
+    // valid while reads are totally ordered
+    Epoch read PM_GUARDED_BY(mutex);
+    // inflated read vector (size 0 until needed)
+    VectorClock read_vc PM_GUARDED_BY(mutex);
+    bool read_shared PM_GUARDED_BY(mutex) = false;
   };
 
-  VarState& state_for(VarId var);
+  VarState& state_for(VarId var) PM_EXCLUDES(map_mutex_);
 
   std::size_t num_threads_;
-  std::mutex map_mutex_;
-  std::unordered_map<VarId, std::unique_ptr<VarState>> vars_;
+  Mutex map_mutex_;
+  std::unordered_map<VarId, std::unique_ptr<VarState>> vars_
+      PM_GUARDED_BY(map_mutex_);
   RaceReport report_;
 };
 

@@ -1,12 +1,12 @@
 #include "detect/modalities.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "core/paramount.hpp"
 #include "poset/global_state.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 
@@ -18,7 +18,7 @@ ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
 
   std::atomic<bool> found{false};
   std::atomic<std::uint64_t> explored{0};
-  std::mutex witness_mutex;
+  Mutex witness_mutex;
   Frontier witness = poset.empty_frontier();
 
   obs::TraceSpan span(telemetry != nullptr ? &telemetry->tracer() : nullptr,
@@ -30,10 +30,15 @@ ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
   enumerate_paramount(poset, options, [&](const Frontier& state) {
     // No early-exit hook in the driver: once found, skip the (possibly
     // expensive) predicate and fall through cheaply.
+    // relaxed: `found` is an advisory short-circuit here — a stale false
+    // only costs one extra predicate call; the witness write is ordered by
+    // witness_mutex and read after the driver's join.
     if (found.load(std::memory_order_relaxed)) return;
     explored.fetch_add(1, std::memory_order_relaxed);
     if (predicate(state)) {
-      std::lock_guard<std::mutex> guard(witness_mutex);
+      MutexLock guard(witness_mutex);
+      // relaxed: the exchange is under witness_mutex; publication of
+      // `witness` to the post-join reader rides the pool's join barrier.
       if (!found.exchange(true, std::memory_order_relaxed)) {
         witness = state;
       }

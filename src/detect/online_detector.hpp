@@ -59,6 +59,7 @@ class OnlineRaceDetector final : public TraceSink {
   // Candidate pairs dropped because the older event left the sliding window
   // (zero under the pin protocol; see check_races).
   std::uint64_t window_evictions() const {
+    // relaxed: monotone statistics counter, read after drain().
     return window_evictions_.load(std::memory_order_relaxed);
   }
 

@@ -58,6 +58,7 @@ void check_races(const PosetT& poset, const AccessTable& table, EventId owner,
                  std::atomic<std::uint64_t>* window_evictions = nullptr) {
   const auto evicted = [window_evictions] {
     if (window_evictions != nullptr) {
+      // relaxed: monotone statistics counter, read after the run drains.
       window_evictions->fetch_add(1, std::memory_order_relaxed);
     }
   };

@@ -5,7 +5,7 @@
 namespace paramount {
 
 std::vector<RaceFinding> RaceReport::findings() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(mutex_);
   std::vector<RaceFinding> out;
   out.reserve(races_.size());
   for (const auto& [var, finding] : races_) out.push_back(finding);

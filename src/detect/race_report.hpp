@@ -4,13 +4,13 @@
 // with races); the first witnessing pair of events is kept for diagnostics.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "poset/event.hpp"
 #include "runtime/access.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 
@@ -24,17 +24,17 @@ class RaceReport {
  public:
   // Records a race on `var`; only the first witness per variable is kept.
   void add(VarId var, EventId first, EventId second) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     races_.try_emplace(var, RaceFinding{var, first, second});
   }
 
   bool has(VarId var) const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return races_.count(var) != 0;
   }
 
   std::size_t num_racy_vars() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return races_.size();
   }
 
@@ -42,8 +42,8 @@ class RaceReport {
   std::vector<RaceFinding> findings() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<VarId, RaceFinding> races_;
+  mutable Mutex mutex_;
+  std::unordered_map<VarId, RaceFinding> races_ PM_GUARDED_BY(mutex_);
 };
 
 }  // namespace paramount

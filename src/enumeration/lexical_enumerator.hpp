@@ -78,15 +78,22 @@ EnumStats enumerate_lexical(const PosetT& poset, const Frontier& lo,
   Frontier state = lo;
   // The entire working set is the current frontier plus the lo/hi bounds.
   if (meter != nullptr) meter->charge(3 * sizeof(Frontier));
+  // The always-on corruption check lives *outside* the per-state loop (the
+  // lint's hot-loop-check rule): a missing successor can only mean the box
+  // invariant broke, and that is just as detectable after the loop exits.
+  bool reached_hi = false;
   while (true) {
     visit(state);
     ++stats.states;
-    if (state == hi) break;
-    const bool advanced = lexical_successor(poset, lo, hi, state);
-    PM_CHECK_MSG(advanced,
-                 "hi is the lex-greatest in-box state; a successor must exist "
-                 "until it is reached");
+    if (state == hi) {
+      reached_hi = true;
+      break;
+    }
+    if (!lexical_successor(poset, lo, hi, state)) break;
   }
+  PM_CHECK_MSG(reached_hi,
+               "hi is the lex-greatest in-box state; successors must chain "
+               "from lo to hi");
   if (meter != nullptr) {
     meter->release(3 * sizeof(Frontier));
     stats.peak_bytes = meter->peak_bytes();

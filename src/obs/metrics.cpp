@@ -116,6 +116,8 @@ std::string MetricsSnapshot::to_json() const {
 MetricsRegistry::MetricsRegistry(std::size_t num_shards)
     : num_shards_(num_shards), shards_(new Shard[num_shards]()) {
   PM_CHECK(num_shards > 0);
+  // relaxed: single-threaded construction; the registry is published to
+  // workers by whatever hands them the pointer (thread creation or stronger).
   for (std::size_t s = 0; s < num_shards_; ++s) {
     for (std::size_t c = 0; c < kCellsPerShard; ++c) {
       shards_[s].cells[c].store(0, std::memory_order_relaxed);
@@ -125,7 +127,7 @@ MetricsRegistry::MetricsRegistry(std::size_t num_shards)
 
 MetricId MetricsRegistry::register_metric(const std::string& name, Kind kind,
                                           std::size_t cells) {
-  std::lock_guard<std::mutex> guard(registration_mutex_);
+  MutexLock guard(registration_mutex_);
   for (const MetricInfo& m : metrics_) {
     if (m.name == name) {
       PM_CHECK_MSG(m.kind == kind, "metric re-registered with another kind");
@@ -155,7 +157,7 @@ MetricId MetricsRegistry::histogram(const std::string& name) {
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::vector<MetricInfo> metrics;
   {
-    std::lock_guard<std::mutex> guard(registration_mutex_);
+    MutexLock guard(registration_mutex_);
     metrics = metrics_;
   }
   MetricsSnapshot snap;
@@ -168,6 +170,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         c.name = m.name;
         c.per_shard.resize(num_shards_);
         for (std::size_t s = 0; s < num_shards_; ++s) {
+          // relaxed: snapshot may race writers; an in-flight increment may or
+          // may not be included, nothing tears (64-bit atomic cells).
           c.per_shard[s] =
               cell(m.first_cell, s).load(std::memory_order_relaxed);
           c.total += c.per_shard[s];
@@ -182,6 +186,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         h.per_shard_count.resize(num_shards_);
         h.per_shard_sum.resize(num_shards_);
         for (std::size_t s = 0; s < num_shards_; ++s) {
+          // relaxed: same racy-snapshot contract as the counter reads above;
+          // count/sum/buckets may be mutually inconsistent mid-observe.
           for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
             h.buckets[b] += cell(m.first_cell + static_cast<MetricId>(b), s)
                                 .load(std::memory_order_relaxed);

@@ -19,11 +19,11 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/sync.hpp"
 
 namespace paramount::obs {
 
@@ -119,6 +119,8 @@ class MetricsRegistry {
 
   void set(MetricId id, std::size_t shard, std::uint64_t value) {
     if constexpr (!kTelemetryEnabled) return;
+    // relaxed: pure store — gauges may be refreshed by whichever thread last
+    // touched the instrumented resource, a benign last-writer-wins race.
     cell(id, shard).store(value, std::memory_order_relaxed);
   }
 
@@ -151,6 +153,10 @@ class MetricsRegistry {
   };
 
   static void bump(std::atomic<std::uint64_t>& c, std::uint64_t delta) {
+    // relaxed: single-writer-per-shard contract — the load observes this
+    // thread's own prior store, and concurrent snapshot() readers tolerate
+    // missing an in-flight increment. Deliberately load+store (not RMW) so
+    // the compiler emits a plain add on the uncontended line.
     c.store(c.load(std::memory_order_relaxed) + delta,
             std::memory_order_relaxed);
   }
@@ -168,9 +174,9 @@ class MetricsRegistry {
 
   std::size_t num_shards_;
   std::unique_ptr<Shard[]> shards_;
-  mutable std::mutex registration_mutex_;
-  std::vector<MetricInfo> metrics_;   // guarded by registration_mutex_
-  std::size_t next_cell_ = 0;         // guarded by registration_mutex_
+  mutable Mutex registration_mutex_;
+  std::vector<MetricInfo> metrics_ PM_GUARDED_BY(registration_mutex_);
+  std::size_t next_cell_ PM_GUARDED_BY(registration_mutex_) = 0;
 };
 
 }  // namespace paramount::obs

@@ -39,6 +39,7 @@ Telemetry::Telemetry(std::size_t num_shards,
   window_evictions = metrics_.counter("detect.window_evictions");
   poset_resident_bytes = metrics_.gauge("poset.resident_bytes");
   poset_reclaimed_events = metrics_.gauge("poset.reclaimed_events");
+  queue_depth = metrics_.gauge("pool.queue_depth");
   tracer_.set_drop_counter(&metrics_, spans_dropped);
   interval_states = metrics_.histogram("paramount.interval_states");
   interval_ns = metrics_.histogram("paramount.interval_ns");

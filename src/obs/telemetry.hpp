@@ -55,6 +55,12 @@ class Telemetry {
   // shards, so the drivers write these on shard 0 only.
   MetricId poset_resident_bytes;    // event storage resident after last GC
   MetricId poset_reclaimed_events;  // cumulative events reclaimed by GC
+  // Per-queue gauge: live depth of each worker's task queue/deque, refreshed
+  // at every submit and claim (the total sums to the pool-wide backlog).
+  // Unlike the counters this cell may be written by whichever thread last
+  // touched the queue; writes are pure relaxed stores, so the race is a
+  // benign last-writer-wins between equally fresh samples.
+  MetricId queue_depth;
   // Histograms.
   MetricId interval_states;  // states per interval (log2 buckets)
   MetricId interval_ns;      // wall time per interval enumeration

@@ -16,7 +16,7 @@ Frontier OnlinePoset::published_frontier() const {
     for (ThreadId t = 0; t < num_threads(); ++t) f[t] = num_events(t);
     if (is_consistent(f)) return f;
   }
-  std::lock_guard<std::mutex> guard(insert_mutex_);
+  MutexLock guard(insert_mutex_);
   return published_frontier_locked();
 }
 
@@ -26,7 +26,7 @@ OnlinePoset::Inserted OnlinePoset::insert(ThreadId tid, OpKind kind,
   PM_CHECK(tid < threads_.size());
   PM_CHECK(clock.size() == num_threads());
 
-  std::lock_guard<std::mutex> guard(insert_mutex_);
+  MutexLock guard(insert_mutex_);
 
   Event e;
   e.id = EventId{tid, num_events(tid) + 1};
@@ -73,7 +73,7 @@ OnlinePoset::Inserted OnlinePoset::insert(ThreadId tid, OpKind kind,
 }
 
 std::uint32_t OnlinePoset::register_pin_locked(const Frontier& gmin) {
-  std::lock_guard<std::mutex> guard(pin_mutex_);
+  MutexLock guard(pin_mutex_);
   std::uint32_t slot;
   if (!free_pin_slots_.empty()) {
     slot = free_pin_slots_.back();
@@ -88,7 +88,7 @@ std::uint32_t OnlinePoset::register_pin_locked(const Frontier& gmin) {
 }
 
 void OnlinePoset::release_pin(std::uint32_t slot) {
-  std::lock_guard<std::mutex> guard(pin_mutex_);
+  MutexLock guard(pin_mutex_);
   PM_DCHECK(slot < pin_slots_.size());
   PM_DCHECK(pin_slots_[slot].active);
   pin_slots_[slot].active = false;
@@ -98,17 +98,17 @@ void OnlinePoset::release_pin(std::uint32_t slot) {
 OnlinePoset::EnumGuard OnlinePoset::pin_interval(const Frontier& gmin) {
   // Take the insertion lock so the pin is ordered against any in-progress
   // collect() (which holds it for the whole pass).
-  std::lock_guard<std::mutex> guard(insert_mutex_);
+  MutexLock guard(insert_mutex_);
   return EnumGuard(this, register_pin_locked(gmin));
 }
 
 std::size_t OnlinePoset::outstanding_pins() const {
-  std::lock_guard<std::mutex> guard(pin_mutex_);
+  MutexLock guard(pin_mutex_);
   return pin_slots_.size() - free_pin_slots_.size();
 }
 
 OnlinePoset::CollectStats OnlinePoset::collect() {
-  std::lock_guard<std::mutex> guard(insert_mutex_);
+  MutexLock guard(insert_mutex_);
   return collect_locked();
 }
 
@@ -136,7 +136,7 @@ OnlinePoset::CollectStats OnlinePoset::collect_locked() {
   // clamps the watermark (a stalled enumeration pins its epoch until its
   // EnumGuard is released).
   {
-    std::lock_guard<std::mutex> pins(pin_mutex_);
+    MutexLock pins(pin_mutex_);
     for (const PinSlot& slot : pin_slots_) {
       if (!slot.active) continue;
       for (ThreadId j = 0; j < n; ++j) {
@@ -150,6 +150,8 @@ OnlinePoset::CollectStats OnlinePoset::collect_locked() {
   std::uint64_t reclaimed_now = 0;
   for (ThreadId j = 0; j < n; ++j) {
     const EventIndex base = watermark[j] == 0 ? 0 : watermark[j] - 1;
+    // relaxed: window_base is only written here, under insert_mutex_; readers
+    // racing the store are protected by their pins (see window_base()).
     const EventIndex old_base =
         threads_[j].window_base.load(std::memory_order_relaxed);
     if (base <= old_base) continue;
@@ -157,6 +159,7 @@ OnlinePoset::CollectStats OnlinePoset::collect_locked() {
     threads_[j].window_base.store(base, std::memory_order_relaxed);
     reclaimed_now += base - old_base;
   }
+  // relaxed: statistics counter; see reclaimed_events().
   reclaimed_events_.fetch_add(reclaimed_now, std::memory_order_relaxed);
   stats.reclaimed_events = reclaimed_now;
   stats.resident_bytes = heap_bytes();

@@ -36,12 +36,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "poset/event.hpp"
 #include "poset/vector_clock.hpp"
 #include "util/stable_vector.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 
@@ -102,6 +102,9 @@ class OnlinePoset {
   // indices are (window_base, num_events].
   EventIndex window_base(ThreadId tid) const {
     PM_DCHECK(tid < threads_.size());
+    // relaxed: window_base is monotone and a reader holding an EnumGuard pin
+    // is already protected from reclamation; a stale (smaller) value only
+    // reports an index live that was live a moment ago.
     return threads_[tid].window_base.load(std::memory_order_relaxed);
   }
 
@@ -116,6 +119,7 @@ class OnlinePoset {
 
   // Total events reclaimed by collect() across all threads.
   std::uint64_t reclaimed_events() const {
+    // relaxed: monotone statistics counter; readers tolerate slight lag.
     return reclaimed_events_.load(std::memory_order_relaxed);
   }
 
@@ -162,10 +166,10 @@ class OnlinePoset {
   // pin flag is the atomic variant used by the drivers). Precondition:
   // every component of gmin is at or above the current watermark, which
   // holds for any Gmin derived from a live event.
-  EnumGuard pin_interval(const Frontier& gmin);
+  EnumGuard pin_interval(const Frontier& gmin) PM_EXCLUDES(insert_mutex_);
 
   // Number of currently outstanding pins (diagnostics).
-  std::size_t outstanding_pins() const;
+  std::size_t outstanding_pins() const PM_EXCLUDES(pin_mutex_);
 
   struct CollectStats {
     std::uint64_t reclaimed_events = 0;  // newly reclaimed by this pass
@@ -177,7 +181,7 @@ class OnlinePoset {
   // thread's window base, and retires dead storage segments. Serializes
   // with insert(). Safe to call concurrently with enumerations that hold
   // an EnumGuard.
-  CollectStats collect();
+  CollectStats collect() PM_EXCLUDES(insert_mutex_);
 
   // ---- insertion (Algorithm 4's atomic block) ----
 
@@ -200,7 +204,8 @@ class OnlinePoset {
   // caller adopts the pin into an EnumGuard and releases it when the
   // interval's enumeration finishes.
   Inserted insert(ThreadId tid, OpKind kind, std::uint32_t object,
-                  VectorClock clock, bool pin = false);
+                  VectorClock clock, bool pin = false)
+      PM_EXCLUDES(insert_mutex_);
 
   // Bytes held by the event storage, for the memory benches and the byte
   // high-water GC trigger.
@@ -223,25 +228,35 @@ class OnlinePoset {
     bool active = false;
   };
 
-  Frontier published_frontier_locked() const {
+  // Exact only under insert_mutex_ — the REQUIRES is the exactness contract:
+  // the per-thread counters cannot move while the caller holds the lock, so
+  // the snapshot is a consistent cut by construction (no validation needed).
+  Frontier published_frontier_locked() const PM_REQUIRES(insert_mutex_) {
     Frontier f(num_threads());
     for (ThreadId t = 0; t < num_threads(); ++t) f[t] = num_events(t);
     return f;
   }
 
-  std::uint32_t register_pin_locked(const Frontier& gmin);
-  void release_pin(std::uint32_t slot);
-  CollectStats collect_locked();
+  // Holding insert_mutex_ is what makes the pin atomic with the insert (no
+  // collect() can slip between publication and pin registration).
+  std::uint32_t register_pin_locked(const Frontier& gmin)
+      PM_REQUIRES(insert_mutex_);
+  void release_pin(std::uint32_t slot) PM_EXCLUDES(pin_mutex_);
+  CollectStats collect_locked() PM_REQUIRES(insert_mutex_);
 
+  // Event storage is deliberately *not* PM_GUARDED_BY(insert_mutex_): writes
+  // happen under the lock, but enumeration workers read published events
+  // lock-free (Theorem 3) — the publication protocol is StableVector's
+  // release/acquire size counter, which the analysis cannot express.
   std::vector<PerThread> threads_;
-  mutable std::mutex insert_mutex_;
-  std::uint64_t next_position_ = 0;
+  mutable Mutex insert_mutex_;
+  std::uint64_t next_position_ PM_GUARDED_BY(insert_mutex_) = 0;
 
   // Pin registry: slots have stable identity; structure and contents are
   // guarded by pin_mutex_ (locked after insert_mutex_ where both are held).
-  mutable std::mutex pin_mutex_;
-  std::deque<PinSlot> pin_slots_;
-  std::vector<std::uint32_t> free_pin_slots_;
+  mutable Mutex pin_mutex_ PM_ACQUIRED_AFTER(insert_mutex_);
+  std::deque<PinSlot> pin_slots_ PM_GUARDED_BY(pin_mutex_);
+  std::vector<std::uint32_t> free_pin_slots_ PM_GUARDED_BY(pin_mutex_);
 
   std::atomic<std::uint64_t> reclaimed_events_{0};
 };

@@ -7,12 +7,12 @@
 // online order can reuse recorded_order().
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "poset/poset.hpp"
 #include "poset/poset_builder.hpp"
 #include "runtime/trace_sink.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 
@@ -23,24 +23,35 @@ class RecordingSink final : public TraceSink {
 
   void on_event(ThreadId tid, OpKind kind, std::uint32_t object,
                 const VectorClock& clock) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     const EventId id = builder_.add_event_with_clock(tid, kind, object, clock);
     order_.push_back(id);
   }
 
   // The arrival order of events — a linear extension of happened-before.
-  const std::vector<EventId>& recorded_order() const { return order_; }
+  // The returned reference is only stable once the traced execution has
+  // finished; the lock below orders the read against the last on_event.
+  const std::vector<EventId>& recorded_order() const {
+    MutexLock guard(mutex_);
+    return order_;
+  }
 
-  std::size_t num_recorded() const { return order_.size(); }
+  std::size_t num_recorded() const {
+    MutexLock guard(mutex_);
+    return order_.size();
+  }
 
   // Finalizes (validates clocks) and returns the poset. Call once, after the
   // traced execution finished.
-  Poset build() && { return std::move(builder_).build(); }
+  Poset build() && {
+    MutexLock guard(mutex_);
+    return std::move(builder_).build();
+  }
 
  private:
-  std::mutex mutex_;
-  PosetBuilder builder_;
-  std::vector<EventId> order_;
+  mutable Mutex mutex_;
+  PosetBuilder builder_ PM_GUARDED_BY(mutex_);
+  std::vector<EventId> order_ PM_GUARDED_BY(mutex_);
 };
 
 }  // namespace paramount

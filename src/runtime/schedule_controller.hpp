@@ -16,14 +16,13 @@
 // real std::thread::join.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "poset/vector_clock.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 
@@ -44,7 +43,7 @@ class ScheduleController {
 
   // The constructing (main) thread enters the schedule holding the token.
   void start(ThreadId main_tid) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     states_[main_tid] = State::kRunning;
     current_ = main_tid;
   }
@@ -52,7 +51,7 @@ class ScheduleController {
   // Parent side of a fork: the child becomes schedulable (it will block in
   // thread_arrived until granted the token).
   void thread_created(ThreadId child) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     PM_CHECK(states_[child] == State::kInactive);
     states_[child] = State::kWaiting;
   }
@@ -63,7 +62,7 @@ class ScheduleController {
   // A schedule point: hand the token back and wait to be rescheduled.
   void yield_point(ThreadId tid) {
     {
-      std::lock_guard<std::mutex> guard(mutex_);
+      MutexLock guard(mutex_);
       PM_DCHECK(states_[tid] == State::kRunning);
       states_[tid] = State::kWaiting;
       if (current_ == tid) schedule_next_locked();
@@ -77,14 +76,14 @@ class ScheduleController {
   // then blocks in the (now prompt) OS join — keeping the schedule free of
   // OS-timing nondeterminism.
   bool is_done(ThreadId tid) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return states_[tid] == State::kDone;
   }
 
   // Leave the schedule before blocking on an OS primitive …
   void pause(ThreadId tid) {
     {
-      std::lock_guard<std::mutex> guard(mutex_);
+      MutexLock guard(mutex_);
       states_[tid] = State::kPaused;
       if (current_ == tid) schedule_next_locked();
     }
@@ -94,7 +93,7 @@ class ScheduleController {
   // … and re-enter afterwards.
   void resume(ThreadId tid) {
     {
-      std::lock_guard<std::mutex> guard(mutex_);
+      MutexLock guard(mutex_);
       states_[tid] = State::kWaiting;
       if (current_ == kNone) schedule_next_locked();
     }
@@ -105,7 +104,7 @@ class ScheduleController {
   // Thread leaves the schedule for good.
   void thread_finished(ThreadId tid) {
     {
-      std::lock_guard<std::mutex> guard(mutex_);
+      MutexLock guard(mutex_);
       states_[tid] = State::kDone;
       if (current_ == tid) schedule_next_locked();
     }
@@ -124,15 +123,17 @@ class ScheduleController {
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
   void wait_for_turn(ThreadId tid) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return current_ == tid; });
+    MutexLock lock(mutex_);
+    // Explicit predicate loop (not cv_.wait(lock, lambda)): the thread
+    // safety analysis treats a lambda as a separate function that does not
+    // inherit the held lock, so the guarded read of current_ stays inline.
+    while (current_ != tid) cv_.wait(mutex_);
     states_[tid] = State::kRunning;
   }
 
-  // Picks the next runnable thread under the policy. Called with mutex_
-  // held. If nobody is runnable, the token is parked (current_ = kNone)
-  // until a paused thread resumes.
-  void schedule_next_locked() {
+  // Picks the next runnable thread under the policy. If nobody is runnable,
+  // the token is parked (current_ = kNone) until a paused thread resumes.
+  void schedule_next_locked() PM_REQUIRES(mutex_) {
     if (policy_ == Policy::kChunked && burst_remaining_ > 0 &&
         current_ != kNone && states_[current_] == State::kWaiting) {
       --burst_remaining_;
@@ -170,13 +171,13 @@ class ScheduleController {
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<State> states_;
-  Policy policy_;
-  Rng rng_;
-  std::size_t current_;
-  std::uint64_t burst_remaining_ = 0;
+  Mutex mutex_;
+  CondVar cv_;
+  std::vector<State> states_ PM_GUARDED_BY(mutex_);
+  Policy policy_;  // immutable after construction
+  Rng rng_ PM_GUARDED_BY(mutex_);
+  std::size_t current_ PM_GUARDED_BY(mutex_);
+  std::uint64_t burst_remaining_ PM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace paramount

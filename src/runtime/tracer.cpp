@@ -63,7 +63,7 @@ TraceRuntime::ThreadState& TraceRuntime::current_thread() {
 VarId TraceRuntime::register_var(std::string name) {
   ThreadState& ts = current_thread();
   (void)ts;
-  std::lock_guard<std::mutex> guard(vars_mutex_);
+  MutexLock guard(vars_mutex_);
   auto state = std::make_unique<VarState>();
   state->name = std::move(name);
   vars_.push_back(std::move(state));
@@ -72,15 +72,13 @@ VarId TraceRuntime::register_var(std::string name) {
 
 const std::string& TraceRuntime::var_name(VarId var) const {
   // vars_ only grows and VarState objects are stable behind unique_ptr.
-  auto* self = const_cast<TraceRuntime*>(this);
-  std::lock_guard<std::mutex> guard(self->vars_mutex_);
+  MutexLock guard(vars_mutex_);
   PM_CHECK(var < vars_.size());
   return vars_[var]->name;
 }
 
 std::size_t TraceRuntime::num_vars() const {
-  auto* self = const_cast<TraceRuntime*>(this);
-  std::lock_guard<std::mutex> guard(self->vars_mutex_);
+  MutexLock guard(vars_mutex_);
   return vars_.size();
 }
 
@@ -96,10 +94,14 @@ void TraceRuntime::record_access(VarId var, bool is_write) {
 
   VarState* vs;
   {
-    std::lock_guard<std::mutex> guard(vars_mutex_);
+    MutexLock guard(vars_mutex_);
     PM_CHECK(var < vars_.size());
     vs = vars_[var].get();
   }
+  // relaxed: owner/shared only feed the §5.2 initialization-write exemption,
+  // which by definition matters only while a single thread touches the var —
+  // once a second thread races here, `shared` flips and the exemption is off
+  // regardless of which order the flags become visible.
   std::uint32_t expected = VarState::kNoOwner;
   if (!vs->owner.compare_exchange_strong(expected, tid,
                                          std::memory_order_relaxed) &&
@@ -144,6 +146,8 @@ void TraceRuntime::record_sync(ThreadState& ts, ThreadId tid, OpKind kind,
 ThreadId TraceRuntime::fork_thread(VectorClock& child_clock_out) {
   ThreadState& ts = current_thread();
   const ThreadId tid = tls.tid;
+  // relaxed: id allocation only — uniqueness comes from the atomic RMW; the
+  // fork-join happened-before edge rides the std::thread machinery.
   const ThreadId child =
       next_thread_id_.fetch_add(1, std::memory_order_relaxed);
   PM_CHECK_MSG(child < options_.num_threads,
@@ -195,11 +199,15 @@ void TraceRuntime::join_thread(ThreadId child,
 TracedMutex::TracedMutex(TraceRuntime& runtime, std::string name)
     : runtime_(runtime),
       clock_(runtime.num_threads()),
+      // relaxed: id allocation only, see fork_thread().
       id_(runtime.next_lock_id_.fetch_add(1, std::memory_order_relaxed)) {
   (void)name;
 }
 
-void TracedMutex::lock() {
+// Lock-implementation body: the controller path acquires via a try_lock +
+// yield spin the analysis cannot follow, so checking is disabled here; the
+// PM_ACQUIRE on the declaration still gives callers balance checking.
+void TracedMutex::lock() PM_NO_THREAD_SAFETY_ANALYSIS {
   TraceRuntime::ThreadState& ts = runtime_.current_thread();
   const ThreadId tid = tls.tid;
   // The collection preceding the acquire must not absorb the lock's clock.
@@ -219,7 +227,7 @@ void TracedMutex::lock() {
   runtime_.record_sync(ts, tid, OpKind::kAcquire, id_);
 }
 
-void TracedMutex::unlock() {
+void TracedMutex::unlock() PM_NO_THREAD_SAFETY_ANALYSIS {
   TraceRuntime::ThreadState& ts = runtime_.current_thread();
   const ThreadId tid = tls.tid;
   // Everything done inside the critical section must be published (and

@@ -29,13 +29,13 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/access.hpp"
 #include "runtime/trace_sink.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 
@@ -137,37 +137,45 @@ class TraceRuntime {
   // (deterministic replay compares recorded posets byte for byte).
   std::atomic<std::uint32_t> next_lock_id_{0};
 
-  std::mutex vars_mutex_;
+  mutable Mutex vars_mutex_;
   // deque-like stability not needed: VarState is not movable (atomics), so
   // store by pointer.
-  std::vector<std::unique_ptr<VarState>> vars_;
+  std::vector<std::unique_ptr<VarState>> vars_ PM_GUARDED_BY(vars_mutex_);
 
   bool finished_ = false;
 };
 
 // Mutex with lock-atomicity tracing. The lock's vector clock carries the
 // happened-before edge from the releasing thread to the next acquirer.
-class TracedMutex {
+//
+// A capability in its own right: traced programs that call lock()/unlock()
+// manually get the same balance checking as code using the core Mutex. The
+// lock()/unlock() *bodies* opt out of the analysis (PM_NO_THREAD_SAFETY_
+// ANALYSIS in tracer.cpp) — under a ScheduleController the acquire is a
+// try_lock + yield spin the analysis cannot follow, and clock_ is protected
+// by the inner mutex_ the capability delegates to.
+class PM_CAPABILITY("mutex") TracedMutex {
  public:
   explicit TracedMutex(TraceRuntime& runtime, std::string name = "lock");
 
-  void lock();
-  void unlock();
+  void lock() PM_ACQUIRE();
+  void unlock() PM_RELEASE();
 
  private:
   TraceRuntime& runtime_;
-  std::mutex mutex_;
-  VectorClock clock_;  // guarded by mutex_
+  Mutex mutex_;
+  VectorClock clock_;  // guarded by mutex_ (bodies are outside the analysis)
   std::uint32_t id_;
 };
 
 // RAII guard for TracedMutex.
-class TracedLockGuard {
+class PM_SCOPED_CAPABILITY TracedLockGuard {
  public:
-  explicit TracedLockGuard(TracedMutex& mutex) : mutex_(mutex) {
+  explicit TracedLockGuard(TracedMutex& mutex) PM_ACQUIRE(mutex)
+      : mutex_(mutex) {
     mutex_.lock();
   }
-  ~TracedLockGuard() { mutex_.unlock(); }
+  ~TracedLockGuard() PM_RELEASE() { mutex_.unlock(); }
 
   TracedLockGuard(const TracedLockGuard&) = delete;
   TracedLockGuard& operator=(const TracedLockGuard&) = delete;
@@ -213,6 +221,10 @@ class TracedVar {
   VarId id() const { return id_; }
 
   // Traced read/write.
+  // relaxed: deliberately the weakest order — ordering must come from the
+  // workload's *traced* synchronization (TracedMutex etc.), never from the
+  // variable itself, or races the detector should flag would be hidden; the
+  // atomic exists only to keep intentionally racy workloads defined C++.
   T load() {
     runtime_.on_read(id_);
     return value_.load(std::memory_order_relaxed);
@@ -224,6 +236,7 @@ class TracedVar {
 
   // Untraced accesses for driver/harness code (not part of the monitored
   // program, like the paper's test drivers).
+  // relaxed: harness-side peeks, ordered by thread joins in the drivers.
   T unsafe_load() const { return value_.load(std::memory_order_relaxed); }
   void unsafe_store(T v) { value_.store(v, std::memory_order_relaxed); }
 

@@ -47,6 +47,8 @@ class MemoryMeter {
   // Charges `bytes`; throws MemoryBudgetExceeded if the budget would be
   // crossed (the charge is rolled back so the meter stays consistent).
   void charge(std::uint64_t bytes) {
+    // relaxed: pure accounting — the counters carry numbers, not data
+    // publication; atomicity of the RMWs alone keeps the totals exact.
     const std::uint64_t now =
         current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
     if (now > budget_) {
@@ -61,18 +63,23 @@ class MemoryMeter {
   }
 
   void release(std::uint64_t bytes) {
+    // relaxed: accounting only, see charge().
     current_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
   std::uint64_t current_bytes() const {
+    // relaxed: instantaneous sample; concurrent charges may lag.
     return current_.load(std::memory_order_relaxed);
   }
   std::uint64_t peak_bytes() const {
+    // relaxed: monotone high-water mark; readers tolerate a lagging value,
+    // and the post-run read is ordered by the enumeration's joins.
     return peak_.load(std::memory_order_relaxed);
   }
   std::uint64_t budget_bytes() const { return budget_; }
 
   void reset() {
+    // relaxed: quiescent-state reset — callers reset between runs.
     current_.store(0, std::memory_order_relaxed);
     peak_.store(0, std::memory_order_relaxed);
   }

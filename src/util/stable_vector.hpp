@@ -70,6 +70,8 @@ class StableVector {
   StableVector& operator=(const StableVector&) = delete;
 
   ~StableVector() {
+    // relaxed: destruction is single-threaded by contract; whoever destroys
+    // the vector already synchronized with the writer and all readers.
     for (auto& seg : geom_) delete[] seg.load(std::memory_order_relaxed);
     for (auto& leaf_slot : leaves_) {
       std::atomic<T*>* leaf = leaf_slot.load(std::memory_order_relaxed);
@@ -94,6 +96,8 @@ class StableVector {
 
   // Appends and returns the index of the new element. Single writer only.
   std::size_t push_back(T value) {
+    // relaxed: size_ and the segment pointers are only written by this (the
+    // single writer) thread, which always sees its own prior stores.
     const std::size_t i = size_.load(std::memory_order_relaxed);
     const std::size_t s = segment_of(i);
     std::atomic<T*>& entry = segment_entry(s, /*allocate_leaf=*/true);
@@ -102,6 +106,7 @@ class StableVector {
       // size sees initialized storage.
       const std::size_t cap = segment_capacity(s);
       entry.store(new T[cap], std::memory_order_release);
+      // relaxed: byte accounting only, see heap_bytes().
       live_bytes_.fetch_add(cap * sizeof(T), std::memory_order_relaxed);
     }
     *slot(i) = std::move(value);
@@ -114,6 +119,9 @@ class StableVector {
   // indices below `n` again (see the concurrency contract above). Only whole
   // segments are reclaimed, so released() may lag `n` by up to one segment.
   void release_prefix(std::size_t n) {
+    // relaxed: the releaser is serialized with the writer by contract, so
+    // these loads observe values the caller already synchronized on; the
+    // byte counter is accounting only.
     const std::size_t published = size_.load(std::memory_order_relaxed);
     if (n > published) n = published;
     while (true) {
@@ -124,6 +132,7 @@ class StableVector {
       if (seg != nullptr) {
         entry.store(nullptr, std::memory_order_release);
         delete[] seg;
+        // relaxed: byte accounting only, see heap_bytes().
         live_bytes_.fetch_sub(segment_capacity(s) * sizeof(T),
                               std::memory_order_relaxed);
       }
@@ -139,6 +148,8 @@ class StableVector {
   // Heap bytes currently owned (live segments + directory leaves). A relaxed
   // counter: callable concurrently with the writer and the releaser.
   std::size_t heap_bytes() const {
+    // relaxed: advisory byte total for GC triggers and benches; a slightly
+    // stale value changes nothing but the instant a GC pass fires.
     return live_bytes_.load(std::memory_order_relaxed);
   }
 
@@ -167,6 +178,7 @@ class StableVector {
     if (leaf == nullptr) {
       PM_CHECK(allocate_leaf);  // single writer allocates in index order
       leaf = new std::atomic<T*>[kLeafSegments]();
+      // relaxed: byte accounting only, see heap_bytes().
       live_bytes_.fetch_add(kLeafSegments * sizeof(std::atomic<T*>),
                             std::memory_order_relaxed);
       leaves_[top].store(leaf, std::memory_order_release);

@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(std::size_t num_threads, obs::Telemetry* telemetry,
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
@@ -39,6 +39,14 @@ std::size_t ThreadPool::current_worker_index() {
   return tls_pool_worker_index;
 }
 
+void ThreadPool::sample_queue_depth(std::size_t queue_index,
+                                    std::size_t depth) {
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().set(telemetry_->queue_depth,
+                              shard_base_ + queue_index, depth);
+  }
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   Task entry{std::move(task), 0};
   if (telemetry_ != nullptr) {
@@ -47,24 +55,30 @@ void ThreadPool::submit(std::function<void()> task) {
   // Least-loaded placement from the racy size estimates; a stale read just
   // costs one task a slightly longer queue, and stealing evens it out.
   std::size_t target = 0;
+  // relaxed: the size fields are advisory load estimates, see WorkerQueue.
   std::size_t best = queues_[0]->size.load(std::memory_order_relaxed);
   for (std::size_t i = 1; i < queues_.size() && best > 0; ++i) {
+    // relaxed: advisory load estimate, see WorkerQueue.
     const std::size_t load = queues_[i]->size.load(std::memory_order_relaxed);
     if (load < best) {
       best = load;
       target = i;
     }
   }
+  std::size_t depth;
   {
     WorkerQueue& q = *queues_[target];
-    std::lock_guard<std::mutex> guard(q.mutex);
+    MutexLock guard(q.mutex);
     q.tasks.push_back(std::move(entry));
-    q.size.store(q.tasks.size(), std::memory_order_relaxed);
+    depth = q.tasks.size();
+    // relaxed: advisory load estimate, see WorkerQueue.
+    q.size.store(depth, std::memory_order_relaxed);
   }
+  sample_queue_depth(target, depth);
   {
     // pending_ is bumped under mutex_ so a worker between its sleep check
     // and cv wait cannot miss the wakeup.
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     PM_CHECK_MSG(!shutting_down_, "submit after shutdown");
     pending_.fetch_add(1, std::memory_order_seq_cst);
   }
@@ -72,24 +86,30 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock, [this] {
-    return pending_.load(std::memory_order_seq_cst) == 0 &&
-           active_.load(std::memory_order_seq_cst) == 0;
-  });
+  MutexLock lock(mutex_);
+  while (pending_.load(std::memory_order_seq_cst) != 0 ||
+         active_.load(std::memory_order_seq_cst) != 0) {
+    all_idle_.wait(mutex_);
+  }
 }
 
 bool ThreadPool::try_take(std::size_t queue_index, Task& out) {
   WorkerQueue& q = *queues_[queue_index];
-  std::lock_guard<std::mutex> guard(q.mutex);
-  if (q.tasks.empty()) return false;
-  out = std::move(q.tasks.front());
-  q.tasks.pop_front();
-  q.size.store(q.tasks.size(), std::memory_order_relaxed);
-  // active_ rises before pending_ falls so (pending_ + active_) never dips
-  // to zero while this task is in flight — wait_idle keys off that sum.
-  active_.fetch_add(1, std::memory_order_seq_cst);
-  pending_.fetch_sub(1, std::memory_order_seq_cst);
+  std::size_t depth;
+  {
+    MutexLock guard(q.mutex);
+    if (q.tasks.empty()) return false;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    depth = q.tasks.size();
+    // relaxed: advisory load estimate, see WorkerQueue.
+    q.size.store(depth, std::memory_order_relaxed);
+    // active_ rises before pending_ falls so (pending_ + active_) never dips
+    // to zero while this task is in flight — wait_idle keys off that sum.
+    active_.fetch_add(1, std::memory_order_seq_cst);
+    pending_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  sample_queue_depth(queue_index, depth);
   return true;
 }
 
@@ -117,7 +137,7 @@ void ThreadPool::run_task(Task& task, std::size_t worker_index, bool stolen,
     // The empty critical section pins any wait_idle caller either before
     // its predicate check (it will see the zeros) or inside the wait (it
     // will get the notify).
-    { std::lock_guard<std::mutex> guard(mutex_); }
+    { MutexLock guard(mutex_); }
     all_idle_.notify_all();
   }
 }
@@ -141,11 +161,11 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       stolen = have;
     }
     if (!have) {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] {
-        return shutting_down_ ||
-               pending_.load(std::memory_order_seq_cst) > 0;
-      });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ &&
+             pending_.load(std::memory_order_seq_cst) == 0) {
+        work_available_.wait(mutex_);
+      }
       if (shutting_down_ && pending_.load(std::memory_order_seq_cst) == 0) {
         return;
       }
@@ -166,6 +186,8 @@ void parallel_for(std::size_t num_threads, std::size_t count,
   std::atomic<std::size_t> next{0};
   auto run = [&] {
     while (true) {
+      // relaxed: the fetch_add is the only shared state; each index is
+      // claimed exactly once and the join below orders the bodies' effects.
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       body(i);

@@ -15,22 +15,23 @@
 // task sat in a queue (pool.queue_wait_ns histogram, sharded by worker
 // index), counts executed tasks (pool.tasks) and tasks taken from a sibling
 // (pool.steals; empty probes land in pool.steal_fail), and emits a "task"
-// span per execution — enough to see queue backlog, worker idleness, and
-// steal traffic in Perfetto.
+// span per execution. Every submit and take also refreshes the live
+// pool.queue_depth gauge for the touched queue's shard, so a poll of the
+// metrics snapshot sees the current backlog per worker — enough to see queue
+// backlog, worker idleness, and steal traffic in Perfetto.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/telemetry.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 
@@ -74,25 +75,32 @@ class ThreadPool {
   // One per worker; submitters and thieves take the lock briefly, so
   // contention is spread across workers instead of a single hot mutex.
   struct alignas(64) WorkerQueue {
-    std::mutex mutex;
-    std::deque<Task> tasks;             // owner takes front; so do thieves
-    std::atomic<std::size_t> size{0};   // load estimate for submit()
+    Mutex mutex;
+    std::deque<Task> tasks PM_GUARDED_BY(mutex);  // owner takes front; so do
+                                                  // thieves
+    // relaxed: load estimate for submit()'s least-loaded placement; a stale
+    // read costs one task a slightly longer queue, and stealing evens it out.
+    std::atomic<std::size_t> size{0};
   };
 
   void worker_loop(std::size_t worker_index);
   bool try_take(std::size_t queue_index, Task& out);
   void run_task(Task& task, std::size_t worker_index, bool stolen,
                 std::uint64_t failed_probes);
+  // Mirrors queue `queue_index`'s depth into the pool.queue_depth gauge on
+  // that queue's shard. Gauge writes are pure relaxed stores, so concurrent
+  // samplers of the same queue race benignly (last writer wins, both fresh).
+  void sample_queue_depth(std::size_t queue_index, std::size_t depth);
 
   obs::Telemetry* telemetry_;
   std::size_t shard_base_ = 0;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::atomic<std::size_t> pending_{0};  // queued, not yet taken
   std::atomic<std::size_t> active_{0};   // taken, still running
-  std::mutex mutex_;                     // sleep/wake + shutdown + wait_idle
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  bool shutting_down_ = false;  // guarded by mutex_
+  Mutex mutex_;                          // sleep/wake + shutdown + wait_idle
+  CondVar work_available_;
+  CondVar all_idle_;
+  bool shutting_down_ PM_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -78,6 +78,8 @@ class WsDeque {
     std::size_t cap = 1;
     while (cap < initial_capacity) cap <<= 1;
     buffers_.push_back(std::make_unique<Buffer>(cap));
+    // relaxed: single-threaded construction; publication to thieves happens
+    // through the owner's later release store to bottom_.
     buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
   }
 
@@ -86,8 +88,11 @@ class WsDeque {
 
   // Owner: pushes onto the bottom, growing the circular array as needed.
   void push(T item) {
+    // relaxed: bottom_ and buffer_ are only written by the owner — this
+    // thread — so its own prior values are already visible.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
+    // relaxed: owner-written, see above.
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
       buf = grow(buf, t, b);
@@ -100,6 +105,7 @@ class WsDeque {
   // last element the owner races thieves via a CAS on top_; the loser backs
   // off and reports empty.
   bool pop(T& out) {
+    // relaxed: bottom_ and buffer_ are owner-written; this is the owner.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* const buf = buffer_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_seq_cst);
@@ -111,6 +117,8 @@ class WsDeque {
     }
     out = buf->get(b);
     if (t == b) {
+      // relaxed: failure order only — a lost CAS means a thief took the
+      // element; the seq_cst success/loads above already ordered the race.
       const bool won = top_.compare_exchange_strong(
           t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
       bottom_.store(b + 1, std::memory_order_release);
@@ -129,6 +137,8 @@ class WsDeque {
     if (t >= b) return StealResult::kEmpty;
     Buffer* const buf = buffer_.load(std::memory_order_acquire);
     out = buf->get(t);
+    // relaxed: failure order only — on a lost race the read of `out` is
+    // discarded and the caller retries or moves on.
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return StealResult::kLost;
@@ -138,6 +148,8 @@ class WsDeque {
 
   // Approximate (racy) — exact only while no other thread is mutating.
   std::size_t size_approx() const {
+    // relaxed: advisory estimate for telemetry and steal heuristics; no
+    // decision taken on it needs to be exact.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_relaxed);
     return b > t ? static_cast<std::size_t>(b - t) : 0;
@@ -155,10 +167,14 @@ class WsDeque {
     std::unique_ptr<std::atomic<T>[]> slots;
 
     T get(std::int64_t i) const {
+      // relaxed: slot reads are racy by design (a thief may read a slot the
+      // owner is about to overwrite); the top_ CAS discards stale reads, and
+      // cross-thread publication rides bottom_'s release store.
       return slots[static_cast<std::size_t>(i) & mask].load(
           std::memory_order_relaxed);
     }
     void put(std::int64_t i, T v) {
+      // relaxed: see get() — ordering is provided by bottom_, not the slot.
       slots[static_cast<std::size_t>(i) & mask].store(
           v, std::memory_order_relaxed);
     }
@@ -205,6 +221,12 @@ class WorkStealingScheduler {
 
   bool pop(std::size_t worker, T& out) {
     return workers_[worker]->deque.pop(out);
+  }
+
+  // Approximate (racy) depth of one worker's deque — feeds the live
+  // pool.queue_depth gauge; exact only while that deque is quiescent.
+  std::size_t size_approx(std::size_t worker) const {
+    return workers_[worker]->deque.size_approx();
   }
 
   // One randomized sweep over every other worker's deque. Returns true with

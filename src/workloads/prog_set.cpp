@@ -54,6 +54,8 @@ struct ListSet {
   }
 
   int alloc(int key) {
+    // relaxed: slot allocation only needs a unique index per caller; the
+    // node's contents are published by the traced store/lock protocol.
     const int i = next_free.fetch_add(1, std::memory_order_relaxed);
     PM_CHECK_MSG(static_cast<std::size_t>(i) < arena.size(),
                  "node arena exhausted");

@@ -3,12 +3,11 @@
 // simulator on it — the full pipeline each bench binary exercises.
 #include <gtest/gtest.h>
 
-#include <mutex>
-
 #include "core/paramount.hpp"
 #include "core/schedule_sim.hpp"
 #include "poset/lattice.hpp"
 #include "test_helpers.hpp"
+#include "util/sync.hpp"
 #include "workloads/harness.hpp"
 
 namespace paramount {
@@ -44,11 +43,11 @@ TEST(Integration, RecordedProgramPosetEnumeratesConsistently) {
   for (const std::size_t workers : {1u, 2u, 8u}) {
     ParamountOptions options;
     options.num_workers = workers;
-    std::mutex mutex;
+    Mutex mutex;
     std::vector<Key> states;
     const ParamountResult result = enumerate_paramount(
         trace.poset, intervals, options, [&](const Frontier& f) {
-          std::lock_guard<std::mutex> guard(mutex);
+          MutexLock guard(mutex);
           states.push_back(key_of(f));
         });
     EXPECT_EQ(result.states, *expected);

@@ -6,13 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "poset/lattice.hpp"
 #include "poset/online_poset.hpp"
 #include "poset/topo_sort.hpp"
 #include "test_helpers.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 namespace {
@@ -27,12 +27,12 @@ using testing::Key;
 // order (which must be a linear extension).
 std::vector<Key> replay(const Poset& poset, const std::vector<EventId>& order,
                         OnlineParamount::Options options) {
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<Key> states;
   OnlineParamount online(
       poset.num_threads(), options,
       [&](const OnlinePoset&, EventId, const Frontier& f) {
-        std::lock_guard<std::mutex> guard(mutex);
+        MutexLock guard(mutex);
         states.push_back(key_of(f));
       });
   for (const EventId id : order) {
@@ -119,6 +119,7 @@ TEST(OnlinePoset, PublishedFrontierHammerStaysConsistent) {
       while (!done.load(std::memory_order_acquire)) {
         const Frontier f = poset.published_frontier();
         if (!poset.is_consistent(f)) {
+          // relaxed: failure tally, read after the readers join.
           torn.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -209,12 +210,12 @@ TEST(OnlineParamount, ConcurrentProducersMatchOracle) {
     std::set<Key> oracle;
     for (const Frontier& f : all_ideals(poset)) oracle.insert(key_of(f));
 
-    std::mutex mutex;
+    Mutex mutex;
     std::vector<Key> states;
     OnlineParamount online(
         poset.num_threads(), {},
         [&](const OnlinePoset&, EventId, const Frontier& f) {
-          std::lock_guard<std::mutex> guard(mutex);
+          MutexLock guard(mutex);
           states.push_back(key_of(f));
         });
 

@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 
 #include "core/schedule_sim.hpp"
@@ -14,6 +13,7 @@
 #include "poset/lattice.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 namespace {
@@ -30,11 +30,11 @@ using testing::Key;
 std::vector<Key> collect_paramount(const Poset& poset,
                                    const ParamountOptions& options,
                                    ParamountResult* result_out = nullptr) {
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<Key> states;
   const ParamountResult result =
       enumerate_paramount(poset, options, [&](const Frontier& f) {
-        std::lock_guard<std::mutex> guard(mutex);
+        MutexLock guard(mutex);
         states.push_back(key_of(f));
       });
   if (result_out != nullptr) *result_out = result;
@@ -110,11 +110,11 @@ TEST_P(ParamountStreaming, MatchesOracle) {
   ParamountOptions options;
   options.num_workers = workers;
   options.collect_interval_stats = true;
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<Key> states;
   const ParamountResult result = enumerate_paramount_streaming(
       poset, order, options, [&](const Frontier& f) {
-        std::lock_guard<std::mutex> guard(mutex);
+        MutexLock guard(mutex);
         states.push_back(key_of(f));
       });
   EXPECT_TRUE(all_distinct(states));
@@ -144,10 +144,10 @@ TEST_P(ParamountChunking, ExactlyOnceForAnyChunkSize) {
   options.num_workers = 3;
   options.chunk_size = chunk;
 
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<Key> states;
   auto collector = [&](const Frontier& f) {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(mutex);
     states.push_back(key_of(f));
   };
 
@@ -188,10 +188,10 @@ TEST_P(ParamountScheduler, StealAndSharedCounterPathsAgree) {
   options.chunk_size = chunk;
   options.steal = steal;
 
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<Key> states;
   auto collector = [&](const Frontier& f) {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(mutex);
     states.push_back(key_of(f));
   };
 

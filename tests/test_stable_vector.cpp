@@ -126,6 +126,8 @@ TEST(StableVector, ConcurrentReadersSeePublishedElements) {
   std::atomic<bool> stop{false};
 
   auto reader = [&] {
+    // relaxed: advisory stop flag; element visibility is carried by the
+    // vector's own acquire/release protocol under test.
     while (!stop.load(std::memory_order_relaxed)) {
       const std::size_t n = v.size();
       for (std::size_t i = 0; i < n; ++i) {
@@ -142,6 +144,7 @@ TEST(StableVector, ConcurrentReadersSeePublishedElements) {
   std::thread r1(reader);
   std::thread r2(reader);
   for (std::uint64_t i = 0; i < kCount; ++i) v.push_back(i * 3 + 1);
+  // relaxed: advisory stop flag, see the reader loop.
   stop.store(true, std::memory_order_relaxed);
   r1.join();
   r2.join();

@@ -509,6 +509,7 @@ TEST(ThreadPoolTelemetry, WaitIdleStressAccountsEveryTask) {
   std::atomic<int> executed{0};
   for (int round = 0; round < kRounds; ++round) {
     for (int t = 0; t < kTasksPerRound; ++t) {
+      // relaxed: execution tally, checked only after wait_idle().
       pool.submit([&] { executed.fetch_add(1, std::memory_order_relaxed); });
     }
     pool.wait_idle();  // stress the idle tracking against telemetry writes

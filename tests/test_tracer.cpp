@@ -8,6 +8,7 @@
 #include "poset/topo_sort.hpp"
 #include "runtime/recording_sink.hpp"
 #include "runtime/traced_barrier.hpp"
+#include "util/sync.hpp"
 
 namespace paramount {
 namespace {
@@ -24,28 +25,28 @@ class CaptureSink final : public TraceSink {
  public:
   void on_event(ThreadId tid, OpKind kind, std::uint32_t object,
                 const VectorClock& clock) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     events_.push_back({tid, kind, object, clock});
   }
 
   void on_raw_access(ThreadId tid, VarId var, bool is_write,
                      const VectorClock& clock) override {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     raw_.push_back({tid, is_write ? OpKind::kWrite : OpKind::kRead, var,
                     clock});
   }
 
   std::vector<CapturedEvent> events() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return events_;
   }
   std::vector<CapturedEvent> raw() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return raw_;
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::vector<CapturedEvent> events_;
   std::vector<CapturedEvent> raw_;
 };

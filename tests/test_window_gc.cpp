@@ -5,7 +5,6 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "poset/online_poset.hpp"
 #include "runtime/access.hpp"
 #include "test_helpers.hpp"
+#include "util/sync.hpp"
 #include "workloads/event_stream.hpp"
 
 namespace paramount {
@@ -36,11 +36,11 @@ StreamRun run_stream(SyntheticEventStream::Params params,
                      std::uint64_t total_events,
                      OnlineParamount::Options options) {
   StreamRun run;
-  std::mutex mutex;
+  Mutex mutex;
   OnlineParamount driver(
       params.num_threads, options,
       [&](const OnlinePoset&, EventId, const Frontier& f) {
-        std::lock_guard<std::mutex> guard(mutex);
+        MutexLock guard(mutex);
         run.states.push_back(key_of(f));
       });
   SyntheticEventStream stream(params);
@@ -255,6 +255,7 @@ TEST(WindowGc, ConcurrentCollectEnumerateStress) {
   OnlineParamount driver(
       params.num_threads, options,
       [&](const OnlinePoset&, EventId, const Frontier&) {
+        // relaxed: state tally, read after drain() below.
         states.fetch_add(1, std::memory_order_relaxed);
       });
 
@@ -264,7 +265,7 @@ TEST(WindowGc, ConcurrentCollectEnumerateStress) {
   // insert-order contract). The producers still vary the timing between
   // inserts; the concurrency under test — pooled enumeration racing the
   // collector — lives on the pool workers and the collector thread.
-  std::mutex stream_mutex;
+  Mutex stream_mutex;
   SyntheticEventStream stream(params);
   std::uint64_t produced = 0;
   std::atomic<bool> done{false};
@@ -273,7 +274,7 @@ TEST(WindowGc, ConcurrentCollectEnumerateStress) {
   for (int p = 0; p < 4; ++p) {
     producers.emplace_back([&] {
       while (true) {
-        std::lock_guard<std::mutex> guard(stream_mutex);
+        MutexLock guard(stream_mutex);
         if (produced == total_events) return;
         ++produced;
         SyntheticEventStream::StreamEvent ev = stream.next();
@@ -282,6 +283,7 @@ TEST(WindowGc, ConcurrentCollectEnumerateStress) {
     });
   }
   std::thread collector([&] {
+    // relaxed: advisory stop flag; the collector's work is self-contained.
     while (!done.load(std::memory_order_relaxed)) {
       driver.collect();
       std::this_thread::yield();
@@ -290,6 +292,7 @@ TEST(WindowGc, ConcurrentCollectEnumerateStress) {
 
   for (std::thread& p : producers) p.join();
   driver.drain();
+  // relaxed: advisory stop flag, see the collector loop.
   done.store(true, std::memory_order_relaxed);
   collector.join();
 

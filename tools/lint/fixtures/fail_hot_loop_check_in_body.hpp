@@ -1,0 +1,19 @@
+// lint-as: src/enumeration/lexical_enumerator.hpp
+// Fail fixture: always-on PM_CHECK inside an enumeration loop body.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace paramount {
+
+inline int drain(int n) {
+  int visited = 0;
+  while (n > 0) {
+    PM_CHECK_MSG(n >= 0, "corrupt countdown");
+    ++visited;
+    --n;
+  }
+  return visited;
+}
+
+}  // namespace paramount

@@ -1,0 +1,10 @@
+// Fail fixture: naked std::mutex / std::lock_guard outside util/sync.hpp.
+#include <mutex>
+
+namespace paramount {
+
+std::mutex mutex;
+
+void critical() { std::lock_guard<std::mutex> guard(mutex); }
+
+}  // namespace paramount

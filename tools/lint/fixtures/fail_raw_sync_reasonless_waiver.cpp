@@ -1,0 +1,8 @@
+// Fail fixture: a NOLINT-PM waiver without a reason is itself a finding.
+#include <mutex>
+
+namespace paramount {
+
+std::mutex mutex;  // NOLINT-PM(raw-sync)
+
+}  // namespace paramount

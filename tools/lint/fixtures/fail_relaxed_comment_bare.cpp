@@ -1,0 +1,10 @@
+// Fail fixture: memory_order_relaxed with no justification comment.
+#include <atomic>
+
+namespace paramount {
+
+std::atomic<int> counter{0};
+
+void bump() { counter.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace paramount

@@ -1,0 +1,25 @@
+// Fail fixture: the justification sits beyond the 12-line window, so it no
+// longer plausibly describes the access.
+#include <atomic>
+
+namespace paramount {
+
+std::atomic<int> counter{0};
+
+// relaxed: this comment is too far above the access to count.
+void bump() {
+  int a = 0;
+  int b = 1;
+  int c = 2;
+  int d = 3;
+  int e = 4;
+  int f = 5;
+  int g = 6;
+  int h = 7;
+  int i = 8;
+  int j = 9;
+  int k = a + b + c + d + e + f + g + h + i + j;
+  counter.fetch_add(k, std::memory_order_relaxed);
+}
+
+}  // namespace paramount

@@ -1,0 +1,12 @@
+// lint-as: tests/test_fixture.cpp
+// Fail fixture: sleeping to "wait" for a worker in a test.
+#include <chrono>
+#include <thread>
+
+namespace paramount {
+
+void wait_for_worker() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+}  // namespace paramount

@@ -1,0 +1,21 @@
+// Clean fixture: the annotated wrappers and a justified relaxed access.
+#include <atomic>
+
+#include "util/sync.hpp"
+
+namespace paramount {
+
+struct Tally {
+  void bump() {
+    MutexLock guard(mutex_);
+    ++calls_;
+    // relaxed: monotone statistics counter, read after the workers join.
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Mutex mutex_;
+  int calls_ PM_GUARDED_BY(mutex_) = 0;
+  std::atomic<int> total_{0};
+};
+
+}  // namespace paramount

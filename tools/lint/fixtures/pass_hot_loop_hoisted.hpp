@@ -1,0 +1,22 @@
+// lint-as: src/enumeration/lexical_enumerator.hpp
+// Clean fixture: PM_DCHECK inside the loop is fine; the always-on check is
+// hoisted after it.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace paramount {
+
+inline int drain(int n) {
+  int visited = 0;
+  bool reached_end = false;
+  while (n > 0) {
+    PM_DCHECK(n >= 0);
+    ++visited;
+    if (--n == 0) reached_end = true;
+  }
+  PM_CHECK_MSG(reached_end, "countdown must terminate at zero");
+  return visited;
+}
+
+}  // namespace paramount

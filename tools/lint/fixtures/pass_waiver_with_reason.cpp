@@ -1,0 +1,14 @@
+// Clean fixture: a NOLINT-PM waiver with a reason is honored.
+#include <mutex>
+
+namespace paramount {
+
+// NOLINT-PM(raw-sync): interop shim — hands a std::mutex to a C library.
+std::mutex legacy_handle;
+
+void touch() {
+  // relaxed mentioned in prose must not trip relaxed-comment: the rule is
+  // keyed on the memory_order_relaxed token in code, not in comments.
+}
+
+}  // namespace paramount

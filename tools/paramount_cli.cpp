@@ -127,9 +127,12 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
 
   const obs::CounterSnapshot* steals = snap.find_counter("pool.steals");
   const obs::CounterSnapshot* drops = snap.find_counter("tracer.spans_dropped");
+  // Live gauge: each worker's deque depth as of its last submit/claim, so a
+  // snapshot taken mid-run shows where the remaining work sits.
+  const obs::CounterSnapshot* depth = snap.find_gauge("pool.queue_depth");
 
   Table workers({"worker", "states", "intervals", "steals", "spans-drop",
-                 "states/s", "queue-wait"});
+                 "states/s", "queue-wait", "queue-depth"});
   for (std::size_t w = 0; w < snap.num_shards; ++w) {
     const double wait_mean =
         queue_wait->per_shard_count[w] == 0
@@ -143,7 +146,8 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
          drops == nullptr ? "-" : format_count(drops->per_shard[w]),
          format_si(static_cast<double>(states->per_shard[w]) /
                    elapsed_seconds),
-         format_ns(wait_mean)});
+         format_ns(wait_mean),
+         depth == nullptr ? "-" : format_count(depth->per_shard[w])});
   }
   workers.add_separator();
   workers.add_row({"all", format_count(states->total),
@@ -152,7 +156,8 @@ void print_telemetry_summary(const obs::Telemetry& telemetry,
                    drops == nullptr ? "-" : format_count(drops->total),
                    format_si(static_cast<double>(states->total) /
                              elapsed_seconds),
-                   format_ns(queue_wait->quantile(0.5))});
+                   format_ns(queue_wait->quantile(0.5)),
+                   depth == nullptr ? "-" : format_count(depth->total)});
   std::printf("\nper-worker telemetry:\n%s", workers.render().c_str());
 
   std::printf("\ninterval size histogram (states per interval):\n");
