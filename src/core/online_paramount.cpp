@@ -129,6 +129,11 @@ void OnlineParamount::enumerate_interval(const OnlinePoset::Inserted& ins) {
     tel->metrics().observe(tel->interval_states, shard, states);
     tel->metrics().observe(tel->interval_ns, shard, end_ns - start_ns);
   }
+  // Release the pin before announcing completion: once the callback fires,
+  // the interval no longer holds any storage against reclamation, so a
+  // collect() triggered by the listener sees the watermark it expects.
+  guard.release();
+  if (options_.interval_done) options_.interval_done(ins.id);
 }
 
 }  // namespace paramount

@@ -47,6 +47,13 @@ class OnlineParamount {
     // shard num_threads + w. Requires num_threads + async_workers shards.
     obs::Telemetry* telemetry = nullptr;
     WindowPolicy window_policy;  // default: no reclamation (unbounded)
+    // Invoked once per interval after its enumeration finished AND its
+    // window pin (if any) was released — the point where the interval has
+    // stopped holding any poset storage alive. Service-mode backpressure
+    // returns submit-queue budget here. Runs on whichever thread enumerated
+    // the interval (a pool worker in pooled mode), so it must be
+    // thread-safe; it must not call back into this driver.
+    std::function<void(EventId)> interval_done;
   };
 
   // Visitor invoked once per enumerated global state, possibly from several

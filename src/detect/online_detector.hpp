@@ -24,12 +24,16 @@ class OnlineRaceDetector final : public TraceSink {
     obs::Telemetry* telemetry = nullptr;
     // Sliding-window GC for long monitored runs (see OnlineParamount).
     OnlineParamount::WindowPolicy window_policy;
+    // Per-interval completion hook, forwarded to OnlineParamount — the
+    // service session releases submit-queue budget here.
+    std::function<void(EventId)> interval_done;
   };
 
   OnlineRaceDetector(std::size_t num_threads, Options options)
       : paramount_(num_threads,
                    {options.subroutine, options.async_workers,
-                    options.telemetry, options.window_policy},
+                    options.telemetry, options.window_policy,
+                    std::move(options.interval_done)},
                    [this](const OnlinePoset& poset, EventId owner,
                           const Frontier& state) {
                      check_races(poset, *access_table_, owner, state, report_,

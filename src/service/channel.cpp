@@ -1,0 +1,168 @@
+#include "service/channel.hpp"
+
+#include "service/frame.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace paramount::service {
+
+namespace {
+
+// Fills a sockaddr_un for `path`; returns false if it does not fit.
+bool make_addr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) return false;
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void UniqueFd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool valid_socket_path(const std::string& path) {
+  sockaddr_un addr;
+  return make_addr(path, &addr);
+}
+
+UniqueFd listen_unix(const std::string& path, int backlog,
+                     std::string* error) {
+  sockaddr_un addr;
+  if (!make_addr(path, &addr)) {
+    *error = "socket path empty or longer than sun_path: " + path;
+    return UniqueFd();
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_string("socket");
+    return UniqueFd();
+  }
+  // A previous daemon instance may have left its socket file behind; bind
+  // would fail with EADDRINUSE even though nobody is listening.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = errno_string("bind");
+    return UniqueFd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    *error = errno_string("listen");
+    return UniqueFd();
+  }
+  return fd;
+}
+
+UniqueFd connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!make_addr(path, &addr)) {
+    *error = "socket path empty or longer than sun_path: " + path;
+    return UniqueFd();
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_string("socket");
+    return UniqueFd();
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *error = errno_string("connect");
+    return UniqueFd();
+  }
+  return fd;
+}
+
+const char* to_string(ReadStatus status) {
+  switch (status) {
+    case ReadStatus::kFrame: return "frame";
+    case ReadStatus::kEof: return "eof";
+    case ReadStatus::kTruncated: return "truncated";
+    case ReadStatus::kOversized: return "oversized";
+    case ReadStatus::kError: return "error";
+  }
+  return "?";
+}
+
+FrameChannel::ReadExact FrameChannel::read_exact(std::uint8_t* buf,
+                                                 std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_.get(), buf + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return got == 0 ? ReadExact::kCleanEof : ReadExact::kMidEof;
+    if (errno == EINTR) continue;
+    return ReadExact::kErr;
+  }
+  return ReadExact::kOk;
+}
+
+ReadStatus FrameChannel::read_frame(std::vector<std::uint8_t>* payload) {
+  std::uint8_t prefix[4];
+  switch (read_exact(prefix, sizeof(prefix))) {
+    case ReadExact::kOk: break;
+    case ReadExact::kCleanEof: return ReadStatus::kEof;
+    case ReadExact::kMidEof: return ReadStatus::kTruncated;
+    case ReadExact::kErr: return ReadStatus::kError;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[3]) << 24);
+  // Reject before allocating: a hostile prefix must not size a buffer.
+  if (len > kMaxFramePayload) return ReadStatus::kOversized;
+  payload->resize(len);
+  if (len > 0) {
+    switch (read_exact(payload->data(), len)) {
+      case ReadExact::kOk: break;
+      // EOF anywhere inside the payload means the frame was cut short.
+      case ReadExact::kCleanEof:
+      case ReadExact::kMidEof: return ReadStatus::kTruncated;
+      case ReadExact::kErr: return ReadStatus::kError;
+    }
+  }
+  return ReadStatus::kFrame;
+}
+
+bool FrameChannel::write_frame(std::span<const std::uint8_t> payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(len),
+      static_cast<std::uint8_t>(len >> 8),
+      static_cast<std::uint8_t>(len >> 16),
+      static_cast<std::uint8_t>(len >> 24),
+  };
+  const auto send_all = [this](const std::uint8_t* buf, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::send(fd_.get(), buf + sent, n - sent, MSG_NOSIGNAL);
+      if (w >= 0) {
+        sent += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  };
+  return send_all(prefix, sizeof(prefix)) &&
+         (payload.empty() || send_all(payload.data(), payload.size()));
+}
+
+void FrameChannel::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+}  // namespace paramount::service

@@ -1,0 +1,93 @@
+// Unix-domain socket plumbing for paramountd: RAII fds, listen/connect
+// helpers, and the length-prefixed frame channel.
+//
+// This directory is the only place in the tree allowed to touch raw socket
+// send/recv (tools/lint/paramount_lint.py rule `raw-socket`); everything
+// above it — sessions, server, tools, tests — speaks frames through
+// FrameChannel, so the partial-read/EINTR/SIGPIPE handling lives in exactly
+// one spot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace paramount::service {
+
+// Owns a file descriptor; closes on destruction. -1 = empty.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// True iff `path` fits a sockaddr_un (the ~108-byte sun_path limit) and is
+// non-empty; the daemons validate --listen with this before binding.
+bool valid_socket_path(const std::string& path);
+
+// Binds + listens on a Unix-domain stream socket, unlinking any stale file
+// at `path` first. Returns an invalid fd with *error set on failure.
+UniqueFd listen_unix(const std::string& path, int backlog, std::string* error);
+
+// Connects to a listening Unix-domain socket.
+UniqueFd connect_unix(const std::string& path, std::string* error);
+
+enum class ReadStatus {
+  kFrame,      // *payload holds one complete frame payload
+  kEof,        // orderly close at a frame boundary
+  kTruncated,  // stream died mid-frame (length prefix or payload)
+  kOversized,  // length prefix above kMaxFramePayload
+  kError,      // transport error (errno-level)
+};
+
+const char* to_string(ReadStatus status);
+
+// Blocking frame transport over a connected socket.
+class FrameChannel {
+ public:
+  explicit FrameChannel(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  // Reads one length-prefixed frame. An oversized prefix poisons the stream
+  // (the payload is unread, so framing is lost); callers must close after
+  // kOversized/kTruncated/kError.
+  ReadStatus read_frame(std::vector<std::uint8_t>* payload);
+
+  // Writes the 4-byte length prefix plus the payload, retrying partial
+  // writes. Returns false on any transport error (including EPIPE — sends
+  // use MSG_NOSIGNAL, so a half-closed peer can never SIGPIPE the server).
+  bool write_frame(std::span<const std::uint8_t> payload);
+
+  // Half-closes the write side (client side of the half-close tests).
+  void shutdown_write();
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  enum class ReadExact { kOk, kCleanEof, kMidEof, kErr };
+  ReadExact read_exact(std::uint8_t* buf, std::size_t len);
+
+  UniqueFd fd_;
+};
+
+}  // namespace paramount::service

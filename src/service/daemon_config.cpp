@@ -1,0 +1,49 @@
+#include "service/daemon_config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "service/channel.hpp"
+
+namespace paramount::service {
+
+void register_daemon_flags(CliFlags& flags) {
+  flags.add_string("listen", "paramountd.sock",
+                   "Unix-domain socket path to listen on");
+  flags.add_int("max-sessions", 8,
+                "concurrent client sessions; further connects get a "
+                "session-limit error frame");
+  flags.add_string("submit-budget", "",
+                   "per-session submit-queue byte budget; the server stops "
+                   "reading a session's socket while this much interval work "
+                   "is in flight (e.g. 4M; empty = unbounded)");
+}
+
+DaemonConfig resolve_daemon_config(const CliFlags& flags) {
+  DaemonConfig config;
+  config.socket_path = flags.get_string("listen");
+  if (!valid_socket_path(config.socket_path)) {
+    std::fprintf(stderr,
+                 "error: --listen must be a non-empty path shorter than the "
+                 "sockaddr_un limit, got '%s'\n",
+                 config.socket_path.c_str());
+    std::exit(2);
+  }
+  config.max_sessions = static_cast<std::uint32_t>(
+      flags.get_int_in_range("max-sessions", 1, 1 << 10));
+  const std::string budget = flags.get_string("submit-budget");
+  if (!budget.empty()) {
+    std::uint64_t bytes = 0;
+    if (!parse_byte_size(budget, &bytes)) {
+      std::fprintf(stderr,
+                   "error: --submit-budget expects e.g. 4M / 512K / 1G, got "
+                   "'%s'\n",
+                   budget.c_str());
+      std::exit(2);
+    }
+    config.submit_budget_bytes = static_cast<std::size_t>(bytes);
+  }
+  return config;
+}
+
+}  // namespace paramount::service

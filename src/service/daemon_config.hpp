@@ -1,0 +1,28 @@
+// Flag plumbing shared by the paramountd front end and its exit-2 tests:
+// registration and validation live here (not in tools/) so the test binary
+// can drive the exact code path the daemon runs without forking the tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace paramount::service {
+
+struct DaemonConfig {
+  std::string socket_path;
+  std::uint32_t max_sessions = 8;
+  std::size_t submit_budget_bytes = 0;  // 0 = unbounded
+};
+
+// Registers --listen / --max-sessions / --submit-budget on `flags`.
+void register_daemon_flags(CliFlags& flags);
+
+// Validates the parsed flags and builds the config. Exits 2 with a usage
+// message on an invalid value (empty/overlong --listen, out-of-range
+// --max-sessions, malformed --submit-budget) — the same contract as the
+// other front ends' range checks.
+DaemonConfig resolve_daemon_config(const CliFlags& flags);
+
+}  // namespace paramount::service

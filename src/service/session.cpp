@@ -1,0 +1,268 @@
+#include "service/session.hpp"
+
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace paramount::service {
+
+std::size_t event_cost_bytes(std::size_t num_threads) {
+  // Event struct + one clock component per thread + queued-task overhead.
+  return sizeof(Event) + num_threads * sizeof(EventIndex) + 64;
+}
+
+Session::Result Session::run() {
+  std::vector<std::uint8_t> payload;
+  while (state_ != State::kClosed) {
+    switch (channel_.read_frame(&payload)) {
+      case ReadStatus::kFrame:
+        break;
+      case ReadStatus::kEof:
+        // Orderly close without Shutdown: finish silently (not "clean" —
+        // the handshake was skipped, but nothing was malformed either).
+        state_ = State::kClosed;
+        continue;
+      case ReadStatus::kTruncated:
+        send_error(ErrorCode::kTruncatedFrame, "stream ended mid-frame");
+        state_ = State::kClosed;
+        continue;
+      case ReadStatus::kOversized:
+        // Framing is lost (the payload was never read); close after the
+        // error frame.
+        send_error(ErrorCode::kOversizedFrame,
+                   "length prefix above " +
+                       std::to_string(kMaxFramePayload) + " bytes");
+        state_ = State::kClosed;
+        continue;
+      case ReadStatus::kError:
+        state_ = State::kClosed;
+        continue;
+    }
+    DecodedFrame frame;
+    if (const auto err = decode_frame(payload, &frame)) {
+      send_error(err->code, err->message);
+      state_ = State::kClosed;
+      continue;
+    }
+    ++result_.frames;
+    if (!handle_frame(frame)) state_ = State::kClosed;
+  }
+  finish();
+  return result_;
+}
+
+bool Session::handle_frame(const DecodedFrame& frame) {
+  // Server→client opcodes arriving from a client are protocol violations in
+  // any state.
+  switch (frame.op) {
+    case Op::kHelloAck:
+    case Op::kStats:
+    case Op::kDrained:
+    case Op::kGoodbye:
+    case Op::kError:
+      send_error(ErrorCode::kUnexpectedFrame,
+                 std::string(to_string(frame.op)) +
+                     " is a server-to-client frame");
+      return false;
+    default:
+      break;
+  }
+  if (state_ == State::kAwaitHello) {
+    if (frame.op != Op::kHello) {
+      send_error(ErrorCode::kExpectedHello,
+                 std::string("expected Hello, got ") + to_string(frame.op));
+      return false;
+    }
+    return handle_hello(frame.hello);
+  }
+  switch (frame.op) {
+    case Op::kHello:
+      send_error(ErrorCode::kDuplicateHello, "session already established");
+      return false;
+    case Op::kEvent:
+      return handle_event(frame.event);
+    case Op::kPoll:
+      return handle_poll();
+    case Op::kDrain:
+      return handle_drain();
+    case Op::kShutdown:
+      return handle_shutdown();
+    default:
+      return false;  // unreachable: covered above
+  }
+}
+
+bool Session::handle_hello(const HelloBody& body) {
+  if (body.version != kProtocolVersion) {
+    send_error(ErrorCode::kBadHello,
+               "unsupported protocol version " + std::to_string(body.version));
+    return false;
+  }
+  if (body.num_threads == 0 || body.num_threads > limits_.max_threads) {
+    send_error(ErrorCode::kBadHello,
+               "num_threads must be in [1, " +
+                   std::to_string(limits_.max_threads) + "]");
+    return false;
+  }
+  if (body.async_workers > limits_.max_workers) {
+    send_error(ErrorCode::kBadHello,
+               "async_workers above " + std::to_string(limits_.max_workers));
+    return false;
+  }
+  num_threads_ = body.num_threads;
+  windowed_ = body.gc_every > 0 || body.window_bytes > 0;
+  event_cost_ = event_cost_bytes(num_threads_);
+  telemetry_ = std::make_unique<obs::Telemetry>(num_threads_ +
+                                                body.async_workers);
+  access_table_ = std::make_unique<AccessTable>(num_threads_);
+  gate_ = std::make_unique<SubmitGate>(limits_.submit_budget_bytes);
+  OnlineRaceDetector::Options options;
+  options.async_workers = body.async_workers;
+  options.telemetry = telemetry_.get();
+  options.window_policy = {body.gc_every,
+                           static_cast<std::size_t>(body.window_bytes)};
+  options.interval_done = [gate = gate_.get(),
+                           cost = event_cost_](EventId) { gate->release(cost); };
+  detector_ = std::make_unique<OnlineRaceDetector>(num_threads_,
+                                                   std::move(options));
+  detector_->attach(*access_table_);
+  prev_clock_.assign(num_threads_, VectorClock(num_threads_));
+  published_.assign(num_threads_, 0);
+  state_ = State::kStreaming;
+  result_.hello_seen = true;
+  const auto ack = encode_hello_ack({kProtocolVersion, session_id_});
+  return channel_.write_frame(ack);
+}
+
+bool Session::handle_event(const EventBody& body) {
+  if (body.tid >= num_threads_) {
+    send_error(ErrorCode::kBadEvent,
+               "tid " + std::to_string(body.tid) + " out of range");
+    return false;
+  }
+  const ThreadId tid = body.tid;
+  // Reconstruct the absolute clock from the delta against this thread's
+  // previous event, then validate it as strictly as OnlinePoset::insert()
+  // would — a violation must yield an Error frame, never an abort.
+  VectorClock clock = prev_clock_[tid];
+  for (const ClockDelta& d : body.delta) {
+    if (d.component >= num_threads_) {
+      send_error(ErrorCode::kBadEvent, "clock delta component out of range");
+      return false;
+    }
+    if (d.value > std::numeric_limits<EventIndex>::max()) {
+      send_error(ErrorCode::kBadEvent, "clock component above 2^32-1");
+      return false;
+    }
+    clock[d.component] = static_cast<EventIndex>(d.value);
+  }
+  if (clock[tid] != published_[tid] + 1) {
+    send_error(ErrorCode::kBadEvent,
+               "own clock component must equal the event's index " +
+                   std::to_string(published_[tid] + 1));
+    return false;
+  }
+  if (!prev_clock_[tid].leq(clock)) {
+    send_error(ErrorCode::kClockRegression,
+               "clock not componentwise monotone on thread " +
+                   std::to_string(tid));
+    return false;
+  }
+  for (ThreadId j = 0; j < num_threads_; ++j) {
+    if (j != tid && clock[j] > published_[j]) {
+      send_error(ErrorCode::kBadEvent,
+                 "clock references unpublished event of thread " +
+                     std::to_string(j));
+      return false;
+    }
+  }
+  if (!body.accesses.empty() && body.kind != OpKind::kCollection) {
+    send_error(ErrorCode::kBadEvent,
+               "accesses are only valid on collection events");
+    return false;
+  }
+  // The wire `object` is never trusted: collection payloads are rebuilt in
+  // the session's own AccessTable and the event points at that copy.
+  std::uint32_t object = body.object;
+  if (body.kind == OpKind::kCollection) {
+    AccessSet set;
+    for (const AccessRecord& a : body.accesses) {
+      set.merge(a.var, a.is_write, a.is_init);
+    }
+    object = access_table_->append(tid, std::move(set));
+  }
+  // Backpressure: block here (stop reading the socket) until the in-flight
+  // interval budget admits the event; pooled workers return the charge via
+  // interval_done.
+  gate_->acquire(event_cost_);
+  published_[tid] += 1;
+  prev_clock_[tid] = clock;
+  ++events_accepted_;
+  detector_->on_event(tid, body.kind, object, clock);
+  return true;
+}
+
+CountsBody Session::current_counts() {
+  CountsBody c;
+  c.events = events_accepted_;
+  c.states = detector_->states_enumerated();
+  c.intervals = detector_->paramount().intervals_processed();
+  c.racy_vars = detector_->report().num_racy_vars();
+  c.resident_bytes = detector_->poset().heap_bytes();
+  c.reclaimed_events = detector_->poset().reclaimed_events();
+  c.window_evictions = detector_->window_evictions();
+  c.outstanding_pins = detector_->poset().outstanding_pins();
+  return c;
+}
+
+bool Session::handle_poll() {
+  const CountsBody counts = current_counts();
+  // Refresh the poset-wide gauges before the snapshot so the JSON agrees
+  // with the counts (shard 0 only: gauge totals sum over shards, and the
+  // session thread is shard 0's single writer).
+  obs::Telemetry& tel = *telemetry_;
+  tel.metrics().set(tel.poset_resident_bytes, 0, counts.resident_bytes);
+  tel.metrics().set(tel.poset_reclaimed_events, 0, counts.reclaimed_events);
+  tel.metrics().set(tel.window_evictions, 0, counts.window_evictions);
+  StatsBody stats{counts, tel.snapshot().to_json()};
+  return channel_.write_frame(encode_stats(stats));
+}
+
+bool Session::handle_drain() {
+  detector_->drain();
+  if (windowed_) detector_->paramount().collect();
+  return channel_.write_frame(encode_counts(Op::kDrained, current_counts()));
+}
+
+bool Session::handle_shutdown() {
+  detector_->drain();
+  if (windowed_) detector_->paramount().collect();
+  result_.clean_shutdown = true;
+  channel_.write_frame(encode_counts(Op::kGoodbye, current_counts()));
+  channel_.shutdown_write();
+  return false;  // always close after Goodbye
+}
+
+void Session::send_error(ErrorCode code, const std::string& message) {
+  ++result_.protocol_errors;
+  channel_.write_frame(encode_error(code, message));
+}
+
+void Session::finish() {
+  if (detector_ != nullptr) {
+    // Whatever ended the session, retire in-flight intervals: drain() waits
+    // for every queued enumeration (each releases its EnumGuard pin), and —
+    // when window GC is on — a final collect() folds the settled prefix back
+    // to the watermark. Unwindowed sessions never reclaim: reclaimed_events
+    // stays 0, which the oracle tests rely on.
+    detector_->drain();
+    if (windowed_) detector_->paramount().collect();
+    result_.counts = current_counts();
+    for (const RaceFinding& f : detector_->report().findings()) {
+      result_.racy_vars.push_back(f.var);
+    }
+    result_.submit_stalls = gate_->stalls();
+  }
+}
+
+}  // namespace paramount::service

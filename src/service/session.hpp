@@ -1,0 +1,101 @@
+// One paramountd client session: the frame-level state machine that turns a
+// socket's event stream into OnlineRaceDetector submissions.
+//
+// States: AwaitHello → Streaming → Closed. Every input byte is untrusted:
+// decode errors and semantic violations (bad tid, clock regression,
+// references to unpublished events) are answered with a typed Error frame
+// and a clean close — the validation here is deliberately at least as strong
+// as OnlinePoset::insert()'s PM_CHECKs, so no byte stream can reach an
+// abort. Whatever way a session ends (Shutdown handshake, plain EOF, a
+// protocol error, or the peer dying mid-frame), finish() drains in-flight
+// intervals and runs a final collect(), so every EnumGuard pin is released
+// and the final counts are exact.
+//
+// The session thread is the only submitter, so it owns all program-thread
+// telemetry shards (0..num_threads-1); pooled enumeration workers write the
+// shards above — the single-writer-per-shard contract holds with one
+// Telemetry per session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/online_detector.hpp"
+#include "obs/telemetry.hpp"
+#include "service/channel.hpp"
+#include "service/frame.hpp"
+#include "util/submit_gate.hpp"
+
+namespace paramount::service {
+
+// Per-event budget charged against the submit gate: a conservative estimate
+// of what one queued interval holds resident (event + clock + task).
+std::size_t event_cost_bytes(std::size_t num_threads);
+
+class Session {
+ public:
+  struct Limits {
+    std::uint32_t max_threads = 512;    // Hello::num_threads ceiling
+    std::uint32_t max_workers = 64;     // Hello::async_workers ceiling
+    std::size_t submit_budget_bytes = 0;  // SubmitGate budget (0 = unbounded)
+  };
+
+  struct Result {
+    CountsBody counts;           // final, exact (post-drain) counts
+    std::vector<VarId> racy_vars;  // sorted; the exact race-report var set
+    std::uint64_t frames = 0;    // well-formed frames handled
+    std::uint64_t protocol_errors = 0;  // Error frames sent
+    std::uint64_t submit_stalls = 0;  // SubmitGate acquires that blocked
+    bool hello_seen = false;
+    bool clean_shutdown = false;  // ended via the Shutdown/Goodbye handshake
+  };
+
+  Session(FrameChannel channel, std::uint64_t session_id, Limits limits)
+      : channel_(std::move(channel)), session_id_(session_id),
+        limits_(limits) {}
+
+  // Runs the session to completion on the calling thread. Never throws,
+  // never aborts on malformed input; returns once the connection is done
+  // and every pin is released.
+  Result run();
+
+ private:
+  enum class State { kAwaitHello, kStreaming, kClosed };
+
+  // Frame handlers; each returns false when the session must close.
+  bool handle_frame(const DecodedFrame& frame);
+  bool handle_hello(const HelloBody& body);
+  bool handle_event(const EventBody& body);
+  bool handle_poll();
+  bool handle_drain();
+  bool handle_shutdown();
+
+  // Sends a typed Error frame (best effort) and counts it.
+  void send_error(ErrorCode code, const std::string& message);
+
+  // Drains the detector, runs a final collect(), and fills result_.counts.
+  void finish();
+
+  CountsBody current_counts();
+
+  FrameChannel channel_;
+  const std::uint64_t session_id_;
+  const Limits limits_;
+  State state_ = State::kAwaitHello;
+  Result result_;
+
+  // Established by Hello:
+  std::uint32_t num_threads_ = 0;
+  bool windowed_ = false;  // gc_every or window_bytes set: collect on drain
+  std::size_t event_cost_ = 0;
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  std::unique_ptr<AccessTable> access_table_;
+  std::unique_ptr<SubmitGate> gate_;
+  std::unique_ptr<OnlineRaceDetector> detector_;
+  std::vector<VectorClock> prev_clock_;   // last accepted clock per thread
+  std::vector<EventIndex> published_;     // accepted event count per thread
+  std::uint64_t events_accepted_ = 0;
+};
+
+}  // namespace paramount::service

@@ -1,0 +1,93 @@
+// Byte-budget admission gate for producer → worker-pool handoffs.
+//
+// The PR-3 follow-on: the sliding-window GC bounds the *poset*, but in
+// pooled online mode the submit queue itself can become the resident-memory
+// driver — a client streaming events faster than the enumeration workers
+// retire them grows the ThreadPool's task queues without bound. The gate
+// charges a byte cost per submission and blocks the producer once the
+// in-flight total would exceed the budget, so the service codec simply stops
+// reading its socket and the *client* absorbs the backlog instead of the
+// server ballooning.
+//
+// Admission rule: a request is admitted when it fits the budget, or when
+// nothing is in flight (an oversized single item must still make progress —
+// the classic bounded-queue passage rule, so budget < item size degrades to
+// serial execution rather than deadlock). Budget 0 disables the gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/sync.hpp"
+
+namespace paramount {
+
+class SubmitGate {
+ public:
+  explicit SubmitGate(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+  SubmitGate(const SubmitGate&) = delete;
+  SubmitGate& operator=(const SubmitGate&) = delete;
+
+  std::size_t budget_bytes() const { return budget_; }
+
+  // Blocks until `bytes` fits the budget (or the gate is idle), then charges
+  // it. Every acquire must be paired with exactly one release of the same
+  // size once the work retires.
+  void acquire(std::size_t bytes) {
+    if (budget_ == 0) return;
+    MutexLock lock(mutex_);
+    bool stalled = false;
+    while (in_flight_ != 0 && in_flight_ + bytes > budget_) {
+      stalled = true;
+      cv_.wait(mutex_);
+    }
+    if (stalled) ++stalls_;
+    in_flight_ += bytes;
+  }
+
+  // Non-blocking variant: charges and returns true iff admission would not
+  // have blocked.
+  bool try_acquire(std::size_t bytes) {
+    if (budget_ == 0) return true;
+    MutexLock lock(mutex_);
+    if (in_flight_ != 0 && in_flight_ + bytes > budget_) return false;
+    in_flight_ += bytes;
+    return true;
+  }
+
+  // Returns budget charged by a completed submission.
+  void release(std::size_t bytes) {
+    if (budget_ == 0) return;
+    {
+      MutexLock lock(mutex_);
+      PM_CHECK_MSG(bytes <= in_flight_, "SubmitGate release exceeds charge");
+      in_flight_ -= bytes;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t in_flight_bytes() const {
+    if (budget_ == 0) return 0;
+    MutexLock lock(mutex_);
+    return in_flight_;
+  }
+
+  // Number of acquire() calls that had to wait at least once — the
+  // backpressure-engaged signal the service surfaces in its stats.
+  std::uint64_t stalls() const {
+    if (budget_ == 0) return 0;
+    MutexLock lock(mutex_);
+    return stalls_;
+  }
+
+ private:
+  const std::size_t budget_;  // immutable after construction; 0 = unbounded
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::size_t in_flight_ PM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t stalls_ PM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace paramount

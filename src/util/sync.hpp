@@ -22,6 +22,7 @@
 // run the checked build and prove the analysis is live.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -175,6 +176,15 @@ class CondVar {
   // Atomically releases `mu`, sleeps, and reacquires `mu` before returning.
   // Spurious wakeups happen; always wait in a predicate loop.
   void wait(Mutex& mu) PM_REQUIRES(mu) { cv_.wait(mu); }
+
+  // Deadline variant for bounded waits (server teardown, test deadlines —
+  // the sanctioned alternative to sleep-based polling). Returns false on
+  // timeout; like wait(), always re-check the predicate in a loop.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      PM_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
 
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }

@@ -1,0 +1,739 @@
+// Service mode (paramountd core): differential oracle + protocol robustness.
+//
+// The oracle suites drive event streams through a real Unix-domain socket
+// into an in-process ParamountServer and require **bit-identical** results
+// to the same events run through the offline driver: state counts from
+// enumerate_paramount, race-variable sets from detect_races_offline_bfs.
+// The robustness suite throws malformed bytes, half-closed connections, and
+// mid-stream kills at the server and asserts it answers a typed Error frame
+// or closes cleanly — never aborts (these tests run in-process: an abort
+// kills the test binary) — and never leaks a pinned EnumGuard.
+//
+// Synchronization is condition-variable based throughout
+// (ParamountServer::wait_sessions_completed); no sleep-based sync, per
+// tools/lint/paramount_lint.py.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/paramount.hpp"
+#include "detect/offline_bfs_detector.hpp"
+#include "poset/poset_builder.hpp"
+#include "service/frame.hpp"
+#include "workloads/event_stream.hpp"
+
+namespace paramount::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kWait = 30s;  // generous: TSan/ASan builds are slow
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/pm_svc_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// In-process server plus frame-level client helpers.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void start_server(ParamountServer::Options options = {}) {
+    options.socket_path = unique_socket_path();
+    server_ = std::make_unique<ParamountServer>(std::move(options));
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  FrameChannel connect() {
+    std::string error;
+    UniqueFd fd = connect_unix(server_->socket_path(), &error);
+    EXPECT_TRUE(fd.valid()) << error;
+    return FrameChannel(std::move(fd));
+  }
+
+  // Reads one frame and decodes it, failing the test on transport errors.
+  DecodedFrame read_frame(FrameChannel& channel) {
+    std::vector<std::uint8_t> payload;
+    const ReadStatus status = channel.read_frame(&payload);
+    EXPECT_EQ(status, ReadStatus::kFrame) << to_string(status);
+    DecodedFrame frame;
+    if (status == ReadStatus::kFrame) {
+      const auto err = decode_frame(payload, &frame);
+      EXPECT_FALSE(err.has_value()) << (err ? err->message : "");
+    }
+    return frame;
+  }
+
+  // Performs the Hello handshake on `channel`.
+  void hello(FrameChannel& channel, const HelloBody& body) {
+    ASSERT_TRUE(channel.write_frame(encode_hello(body)));
+    const DecodedFrame ack = read_frame(channel);
+    ASSERT_EQ(ack.op, Op::kHelloAck);
+    EXPECT_EQ(ack.hello_ack.version, kProtocolVersion);
+  }
+
+  // Expects the next server frame to be an Error with the given code,
+  // followed by connection close.
+  void expect_error_then_close(FrameChannel& channel, ErrorCode code) {
+    const DecodedFrame frame = read_frame(channel);
+    ASSERT_EQ(frame.op, Op::kError);
+    EXPECT_EQ(frame.error.code, code) << frame.error.message;
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(channel.read_frame(&payload), ReadStatus::kEof);
+  }
+
+  // Waits (condition-variable, not sleep) for `n` total completed sessions.
+  void await_completed(std::uint64_t n) {
+    ASSERT_TRUE(server_->wait_sessions_completed(n, kWait))
+        << "sessions did not complete";
+  }
+
+  std::unique_ptr<ParamountServer> server_;
+};
+
+// Sends `total` synthetic events (delta-encoded) over an established
+// session; returns the stream parameters' expected clocks via `prev`.
+void stream_events(FrameChannel& channel, SyntheticEventStream& stream,
+                   std::vector<VectorClock>& prev, std::uint64_t total) {
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const SyntheticEventStream::StreamEvent ev = stream.next();
+    EventBody body;
+    body.tid = ev.tid;
+    body.kind = ev.kind;
+    body.object = ev.object;
+    for (std::size_t j = 0; j < ev.clock.size(); ++j) {
+      if (ev.clock[j] != prev[ev.tid][j]) {
+        body.delta.push_back({static_cast<std::uint32_t>(j), ev.clock[j]});
+      }
+    }
+    prev[ev.tid] = ev.clock;
+    ASSERT_TRUE(channel.write_frame(encode_event(body)));
+  }
+}
+
+// Offline reference: state count of the identical stream via the offline
+// driver (src/core/paramount.cpp).
+std::uint64_t oracle_states(const SyntheticEventStream::Params& params,
+                            std::uint64_t total) {
+  SyntheticEventStream stream(params);
+  PosetBuilder builder(params.num_threads);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const SyntheticEventStream::StreamEvent ev = stream.next();
+    builder.add_event_with_clock(ev.tid, ev.kind, ev.object, ev.clock);
+  }
+  const Poset poset = std::move(builder).build();
+  ParamountOptions options;
+  options.num_workers = 2;
+  return enumerate_paramount(poset, options, [](const Frontier&) {}).states;
+}
+
+// ---- differential oracle: state counts across the A/B matrix ----
+
+struct OracleCase {
+  std::uint32_t async_workers;
+  std::uint64_t gc_every;
+  const char* name;
+};
+
+class ServiceOracle : public ServiceTest,
+                      public ::testing::WithParamInterface<OracleCase> {};
+
+TEST_P(ServiceOracle, SocketStreamMatchesOfflineDriver) {
+  const OracleCase& c = GetParam();
+  start_server();
+  SyntheticEventStream::Params params;
+  params.num_threads = 4;
+  params.num_locks = 2;
+  params.sync_probability = 0.8;
+  params.seed = 7;
+  const std::uint64_t total = 3000;
+
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 4;
+  h.async_workers = c.async_workers;
+  h.gc_every = c.gc_every;
+  hello(channel, h);
+
+  SyntheticEventStream stream(params);
+  std::vector<VectorClock> prev(params.num_threads,
+                                VectorClock(params.num_threads));
+  stream_events(channel, stream, prev, total);
+
+  ASSERT_TRUE(channel.write_frame(encode_shutdown()));
+  const DecodedFrame goodbye = read_frame(channel);
+  ASSERT_EQ(goodbye.op, Op::kGoodbye);
+
+  EXPECT_EQ(goodbye.counts.events, total);
+  EXPECT_EQ(goodbye.counts.intervals, total);
+  EXPECT_EQ(goodbye.counts.outstanding_pins, 0u);
+  EXPECT_EQ(goodbye.counts.racy_vars, 0u);  // no collection events
+  if (c.gc_every > 0) {
+    EXPECT_GT(goodbye.counts.reclaimed_events, 0u);
+  } else {
+    EXPECT_EQ(goodbye.counts.reclaimed_events, 0u);
+  }
+  // The differential requirement: bit-identical to the offline driver.
+  EXPECT_EQ(goodbye.counts.states, oracle_states(params, total));
+
+  await_completed(1);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.leaked_pins, 0u);
+  EXPECT_EQ(stats.clean_shutdowns, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ServiceOracle,
+    ::testing::Values(OracleCase{0, 0, "inline_unwindowed"},
+                      OracleCase{0, 64, "inline_windowed"},
+                      OracleCase{3, 0, "pooled_unwindowed"},
+                      OracleCase{3, 64, "pooled_windowed"}),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      return info.param.name;
+    });
+
+// ---- differential oracle: race reports on collection traces ----
+
+// A hand-built two-thread trace: per round, each thread emits a collection
+// touching the round's variable (thread 0 writes, thread 1 reads), and
+// rounds listed in `synced` interpose a lock hand-off from thread 0 to
+// thread 1, ordering the pair. Unsynced rounds race.
+struct CollectionTrace {
+  struct Ev {
+    ThreadId tid;
+    OpKind kind;
+    std::vector<AccessRecord> accesses;
+    VectorClock clock;
+  };
+  std::vector<Ev> events;
+  std::size_t num_threads = 2;
+};
+
+CollectionTrace make_collection_trace(int rounds,
+                                      const std::vector<int>& synced) {
+  CollectionTrace trace;
+  VectorClock t0(2);
+  VectorClock t1(2);
+  VectorClock lock(2);
+  for (int r = 0; r < rounds; ++r) {
+    const auto var = static_cast<std::uint32_t>(r);
+    t0[0] += 1;
+    trace.events.push_back(
+        {0, OpKind::kCollection, {{var, true, false}}, t0});
+    if (std::find(synced.begin(), synced.end(), r) != synced.end()) {
+      // Lock hand-off: release on t0, acquire on t1 (Algorithm 3).
+      trace.events.push_back(
+          {0, OpKind::kRelease, {}, calculate_vector_clock(0, t0, lock)});
+      trace.events.push_back(
+          {1, OpKind::kAcquire, {}, calculate_vector_clock(1, t1, lock)});
+    }
+    t1[1] += 1;
+    trace.events.push_back(
+        {1, OpKind::kCollection, {{var, false, false}}, t1});
+  }
+  return trace;
+}
+
+// Offline reference for a collection trace: poset + per-thread access table
+// replayed exactly as the session builds them, through the offline BFS
+// race detector (the RV-analogue all-pairs check).
+std::vector<VarId> oracle_racy_vars(const CollectionTrace& trace) {
+  PosetBuilder builder(trace.num_threads);
+  AccessTable table(trace.num_threads);
+  for (const CollectionTrace::Ev& ev : trace.events) {
+    std::uint32_t object = 0;
+    if (ev.kind == OpKind::kCollection) {
+      AccessSet set;
+      for (const AccessRecord& a : ev.accesses) {
+        set.merge(a.var, a.is_write, a.is_init);
+      }
+      object = table.append(ev.tid, std::move(set));
+    }
+    builder.add_event_with_clock(ev.tid, ev.kind, object, ev.clock);
+  }
+  const Poset poset = std::move(builder).build();
+  RaceReport report;
+  detect_races_offline_bfs(poset, table, report);
+  std::vector<VarId> vars;
+  for (const RaceFinding& f : report.findings()) vars.push_back(f.var);
+  return vars;
+}
+
+class ServiceRaceOracle : public ServiceTest,
+                          public ::testing::WithParamInterface<std::uint32_t> {
+};
+
+TEST_P(ServiceRaceOracle, RaceReportMatchesOfflineBfs) {
+  // Rounds 0..5; rounds 1 and 4 are lock-synchronized, so exactly the
+  // variables {0, 2, 3, 5} race — and the test does not hardcode that: both
+  // sides derive it independently.
+  const CollectionTrace trace = make_collection_trace(6, {1, 4});
+  const std::vector<VarId> expected = oracle_racy_vars(trace);
+  ASSERT_FALSE(expected.empty());
+
+  start_server();
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  h.async_workers = GetParam();
+  hello(channel, h);
+
+  std::vector<VectorClock> prev(2, VectorClock(2));
+  for (const CollectionTrace::Ev& ev : trace.events) {
+    EventBody body;
+    body.tid = ev.tid;
+    body.kind = ev.kind;
+    body.object = 0;  // the session rebuilds collection payloads itself
+    body.accesses = ev.accesses;
+    for (std::size_t j = 0; j < ev.clock.size(); ++j) {
+      if (ev.clock[j] != prev[ev.tid][j]) {
+        body.delta.push_back({static_cast<std::uint32_t>(j), ev.clock[j]});
+      }
+    }
+    prev[ev.tid] = ev.clock;
+    ASSERT_TRUE(channel.write_frame(encode_event(body)));
+  }
+  ASSERT_TRUE(channel.write_frame(encode_shutdown()));
+  const DecodedFrame goodbye = read_frame(channel);
+  ASSERT_EQ(goodbye.op, Op::kGoodbye);
+  EXPECT_EQ(goodbye.counts.racy_vars, expected.size());
+
+  await_completed(1);
+  // Bit-identical race report: the exact variable set, not just the count.
+  EXPECT_EQ(server_->stats().last_racy_vars, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(InlineAndPooled, ServiceRaceOracle,
+                         ::testing::Values(0u, 3u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return i.param == 0 ? "inline" : "pooled";
+                         });
+
+// ---- Poll / Drain semantics ----
+
+TEST_F(ServiceTest, PollReturnsTelemetrySnapshot) {
+  start_server();
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  h.gc_every = 8;
+  hello(channel, h);
+
+  SyntheticEventStream::Params params;
+  params.num_threads = 2;
+  params.num_locks = 2;
+  params.sync_probability = 0.8;
+  SyntheticEventStream stream(params);
+  std::vector<VectorClock> prev(2, VectorClock(2));
+  stream_events(channel, stream, prev, 200);
+
+  ASSERT_TRUE(channel.write_frame(encode_poll()));
+  const DecodedFrame stats = read_frame(channel);
+  ASSERT_EQ(stats.op, Op::kStats);
+  EXPECT_EQ(stats.stats.counts.events, 200u);
+  EXPECT_GT(stats.stats.counts.resident_bytes, 0u);
+  // The JSON snapshot carries the well-known instruments, with the gauges
+  // refreshed to agree with the counts in the same frame.
+  const std::string& json = stats.stats.metrics_json;
+  EXPECT_NE(json.find("poset.resident_bytes"), std::string::npos);
+  EXPECT_NE(json.find("pool.queue_depth"), std::string::npos);
+  EXPECT_NE(json.find("detect.window_evictions"), std::string::npos);
+
+  ASSERT_TRUE(channel.write_frame(encode_drain()));
+  const DecodedFrame drained = read_frame(channel);
+  ASSERT_EQ(drained.op, Op::kDrained);
+  EXPECT_EQ(drained.counts.events, 200u);
+  EXPECT_EQ(drained.counts.outstanding_pins, 0u);
+  // Drained counts are exact: streaming may continue afterwards.
+  stream_events(channel, stream, prev, 100);
+  ASSERT_TRUE(channel.write_frame(encode_shutdown()));
+  const DecodedFrame goodbye = read_frame(channel);
+  ASSERT_EQ(goodbye.op, Op::kGoodbye);
+  EXPECT_EQ(goodbye.counts.events, 300u);
+}
+
+// ---- protocol robustness: never abort, never leak a pin ----
+
+TEST_F(ServiceTest, TruncatedFrameGetsTypedErrorAndClose) {
+  start_server();
+  FrameChannel channel = connect();
+  // Length prefix promises 100 bytes; deliver 10 and half-close.
+  const std::uint8_t prefix[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::write(channel.fd(), prefix, 4), 4);
+  const std::uint8_t partial[10] = {};
+  ASSERT_EQ(::write(channel.fd(), partial, 10), 10);
+  channel.shutdown_write();
+  expect_error_then_close(channel, ErrorCode::kTruncatedFrame);
+  await_completed(1);
+  EXPECT_EQ(server_->stats().leaked_pins, 0u);
+}
+
+TEST_F(ServiceTest, OversizedLengthPrefixGetsTypedError) {
+  start_server();
+  FrameChannel channel = connect();
+  const std::uint8_t prefix[4] = {0xff, 0xff, 0xff, 0x7f};  // ~2 GiB claim
+  ASSERT_EQ(::write(channel.fd(), prefix, 4), 4);
+  expect_error_then_close(channel, ErrorCode::kOversizedFrame);
+  await_completed(1);
+}
+
+TEST_F(ServiceTest, UnknownOpcodeGetsTypedError) {
+  start_server();
+  FrameChannel channel = connect();
+  const std::uint8_t frame[5] = {1, 0, 0, 0, 0x55};  // len=1, opcode 0x55
+  ASSERT_EQ(::write(channel.fd(), frame, 5), 5);
+  expect_error_then_close(channel, ErrorCode::kUnknownOpcode);
+  await_completed(1);
+}
+
+TEST_F(ServiceTest, EventBeforeHelloIsRejected) {
+  start_server();
+  FrameChannel channel = connect();
+  EventBody body;
+  body.tid = 0;
+  body.delta.push_back({0, 1});
+  ASSERT_TRUE(channel.write_frame(encode_event(body)));
+  expect_error_then_close(channel, ErrorCode::kExpectedHello);
+  await_completed(1);
+}
+
+TEST_F(ServiceTest, DuplicateHelloIsRejected) {
+  start_server();
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  hello(channel, h);
+  ASSERT_TRUE(channel.write_frame(encode_hello(h)));
+  expect_error_then_close(channel, ErrorCode::kDuplicateHello);
+  await_completed(1);
+}
+
+TEST_F(ServiceTest, BadHelloParametersAreRejected) {
+  start_server();
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 0;  // out of range
+  ASSERT_TRUE(channel.write_frame(encode_hello(h)));
+  expect_error_then_close(channel, ErrorCode::kBadHello);
+  await_completed(1);
+}
+
+TEST_F(ServiceTest, ServerDirectionOpcodeIsRejected) {
+  start_server();
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  hello(channel, h);
+  ASSERT_TRUE(channel.write_frame(encode_counts(Op::kGoodbye, {})));
+  expect_error_then_close(channel, ErrorCode::kUnexpectedFrame);
+  await_completed(1);
+}
+
+TEST_F(ServiceTest, MalformedEventBodiesAreRejectedNotAborted) {
+  // Each case is an Event frame that OnlinePoset::insert() would PM_CHECK
+  // on; the session must pre-validate and answer a typed Error instead.
+  struct Case {
+    const char* name;
+    ErrorCode code;
+    EventBody body;
+  };
+  std::vector<Case> cases;
+  {
+    EventBody b;  // tid out of range
+    b.tid = 9;
+    b.delta.push_back({0, 1});
+    cases.push_back({"bad_tid", ErrorCode::kBadEvent, b});
+  }
+  {
+    EventBody b;  // own component must be 1 for the first event
+    b.tid = 0;
+    b.delta.push_back({0, 5});
+    cases.push_back({"own_component_skip", ErrorCode::kBadEvent, b});
+  }
+  {
+    EventBody b;  // references thread 1's event 3: not yet published
+    b.tid = 0;
+    b.delta.push_back({0, 1});
+    b.delta.push_back({1, 3});
+    cases.push_back({"unpublished_reference", ErrorCode::kBadEvent, b});
+  }
+  {
+    EventBody b;  // delta component out of range
+    b.tid = 0;
+    b.delta.push_back({7, 1});
+    cases.push_back({"bad_component", ErrorCode::kBadEvent, b});
+  }
+  {
+    EventBody b;  // accesses on a non-collection event
+    b.tid = 0;
+    b.delta.push_back({0, 1});
+    b.accesses.push_back({3, true, false});
+    cases.push_back({"accesses_on_internal", ErrorCode::kBadEvent, b});
+  }
+  std::uint64_t completed = 0;
+  for (const Case& c : cases) {
+    if (server_ == nullptr) start_server();
+    FrameChannel channel = connect();
+    HelloBody h;
+    h.num_threads = 2;
+    hello(channel, h);
+    ASSERT_TRUE(channel.write_frame(encode_event(c.body))) << c.name;
+    expect_error_then_close(channel, c.code);
+    await_completed(++completed);
+  }
+  EXPECT_EQ(server_->stats().leaked_pins, 0u);
+}
+
+TEST_F(ServiceTest, ClockRegressionIsRejected) {
+  start_server();
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  hello(channel, h);
+  // Thread 1 publishes two events; thread 0 adopts clock {1,2}, then its
+  // next event tries to roll thread 1's component back to 1.
+  for (EventIndex i = 1; i <= 2; ++i) {
+    EventBody b;
+    b.tid = 1;
+    b.delta.push_back({1, i});
+    ASSERT_TRUE(channel.write_frame(encode_event(b)));
+  }
+  EventBody adopt;
+  adopt.tid = 0;
+  adopt.delta.push_back({0, 1});
+  adopt.delta.push_back({1, 2});
+  ASSERT_TRUE(channel.write_frame(encode_event(adopt)));
+  EventBody regress;
+  regress.tid = 0;
+  regress.delta.push_back({0, 2});
+  regress.delta.push_back({1, 1});  // moves backwards
+  ASSERT_TRUE(channel.write_frame(encode_event(regress)));
+  expect_error_then_close(channel, ErrorCode::kClockRegression);
+  await_completed(1);
+  EXPECT_EQ(server_->stats().leaked_pins, 0u);
+}
+
+TEST_F(ServiceTest, HalfClosedConnectionDrainsCleanly) {
+  start_server();
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  h.async_workers = 2;
+  h.gc_every = 16;
+  hello(channel, h);
+  SyntheticEventStream::Params params;
+  params.num_threads = 2;
+  params.num_locks = 2;
+  params.sync_probability = 0.8;
+  SyntheticEventStream stream(params);
+  std::vector<VectorClock> prev(2, VectorClock(2));
+  stream_events(channel, stream, prev, 500);
+  // Half-close without the Shutdown handshake: the server must treat the
+  // EOF as end-of-stream, drain, and release every pin.
+  channel.shutdown_write();
+  std::vector<std::uint8_t> payload;
+  EXPECT_EQ(channel.read_frame(&payload), ReadStatus::kEof);
+  await_completed(1);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.leaked_pins, 0u);
+  EXPECT_EQ(stats.last_session.events, 500u);
+  EXPECT_EQ(stats.last_session.outstanding_pins, 0u);
+  EXPECT_EQ(stats.clean_shutdowns, 0u);  // EOF path, not the handshake
+}
+
+TEST_F(ServiceTest, KillMidStreamReleasesPinsAndServerSurvives) {
+  start_server();
+  {
+    FrameChannel channel = connect();
+    HelloBody h;
+    h.num_threads = 2;
+    h.async_workers = 3;
+    h.gc_every = 8;  // pins active on every in-flight interval
+    hello(channel, h);
+    SyntheticEventStream::Params params;
+    params.num_threads = 2;
+    params.num_locks = 2;
+    params.sync_probability = 0.8;
+    SyntheticEventStream stream(params);
+    std::vector<VectorClock> prev(2, VectorClock(2));
+    stream_events(channel, stream, prev, 300);
+    // Die mid-frame: a bare length prefix with no payload, then the channel
+    // destructor closes the socket with intervals still in flight.
+    const std::uint8_t prefix[4] = {50, 0, 0, 0};
+    ASSERT_EQ(::write(channel.fd(), prefix, 4), 4);
+  }
+  await_completed(1);
+  const ServerStats after_kill = server_->stats();
+  EXPECT_EQ(after_kill.leaked_pins, 0u);
+  EXPECT_EQ(after_kill.last_session.outstanding_pins, 0u);
+
+  // The server must still serve fresh sessions bit-identically.
+  SyntheticEventStream::Params params;
+  params.num_threads = 4;
+  params.num_locks = 2;
+  params.sync_probability = 0.8;
+  params.seed = 3;
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 4;
+  hello(channel, h);
+  SyntheticEventStream stream(params);
+  std::vector<VectorClock> prev(4, VectorClock(4));
+  stream_events(channel, stream, prev, 800);
+  ASSERT_TRUE(channel.write_frame(encode_shutdown()));
+  const DecodedFrame goodbye = read_frame(channel);
+  ASSERT_EQ(goodbye.op, Op::kGoodbye);
+  EXPECT_EQ(goodbye.counts.states, oracle_states(params, 800));
+  await_completed(2);
+  EXPECT_EQ(server_->stats().leaked_pins, 0u);
+}
+
+TEST_F(ServiceTest, InterleavedSessionsStayIsolated) {
+  start_server();
+  // Two concurrent sessions with different stream shapes; each must match
+  // its own oracle (shared server, fully isolated per-session state).
+  struct Job {
+    std::uint64_t seed;
+    std::uint32_t workers;
+    std::uint64_t total;
+    std::uint64_t states = 0;
+  };
+  std::vector<Job> jobs = {{11, 0, 1200}, {22, 2, 900}};
+  std::vector<std::thread> threads;
+  for (Job& job : jobs) {
+    threads.emplace_back([this, &job] {
+      SyntheticEventStream::Params params;
+      params.num_threads = 3;
+      params.num_locks = 2;
+      params.sync_probability = 0.8;
+      params.seed = job.seed;
+      FrameChannel channel = connect();
+      HelloBody h;
+      h.num_threads = 3;
+      h.async_workers = job.workers;
+      h.gc_every = 32;
+      hello(channel, h);
+      SyntheticEventStream stream(params);
+      std::vector<VectorClock> prev(3, VectorClock(3));
+      stream_events(channel, stream, prev, job.total);
+      ASSERT_TRUE(channel.write_frame(encode_shutdown()));
+      const DecodedFrame goodbye = read_frame(channel);
+      ASSERT_EQ(goodbye.op, Op::kGoodbye);
+      job.states = goodbye.counts.states;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Job& job : jobs) {
+    SyntheticEventStream::Params params;
+    params.num_threads = 3;
+    params.num_locks = 2;
+    params.sync_probability = 0.8;
+    params.seed = job.seed;
+    EXPECT_EQ(job.states, oracle_states(params, job.total))
+        << "seed " << job.seed;
+  }
+  await_completed(2);
+  EXPECT_EQ(server_->stats().leaked_pins, 0u);
+}
+
+TEST_F(ServiceTest, SessionLimitAnswersTypedError) {
+  ParamountServer::Options options;
+  options.max_sessions = 1;
+  start_server(options);
+  FrameChannel first = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  hello(first, h);  // occupies the only slot
+  FrameChannel second = connect();
+  expect_error_then_close(second, ErrorCode::kSessionLimit);
+  ASSERT_TRUE(first.write_frame(encode_shutdown()));
+  EXPECT_EQ(read_frame(first).op, Op::kGoodbye);
+  await_completed(1);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.sessions_rejected, 1u);
+  EXPECT_EQ(stats.sessions_accepted, 2u);
+}
+
+// Window GC keeps the session's poset at a plateau: the final resident
+// footprint after teardown-drain must be far below the unwindowed footprint
+// of the same stream, and pins must all be gone.
+TEST_F(ServiceTest, ResidentBytesReturnToPlateauAfterTeardown) {
+  start_server();
+  // Per-thread depth must clear the geometric segment ramp (kGeomCover =
+  // 8128 events): below that, the last — and largest — segment is partially
+  // covered and stays resident, dwarfing the reclaimed prefix. At 15k events
+  // per thread the flat 4096-slot segments dominate and GC frees them.
+  const std::uint64_t total = 60000;
+  auto run = [&](std::uint64_t gc_every) -> CountsBody {
+    SyntheticEventStream::Params params;
+    params.num_threads = 4;
+    params.num_locks = 2;
+    params.sync_probability = 0.8;
+    FrameChannel channel = connect();
+    HelloBody h;
+    h.num_threads = 4;
+    h.async_workers = 2;
+    h.gc_every = gc_every;
+    hello(channel, h);
+    SyntheticEventStream stream(params);
+    std::vector<VectorClock> prev(4, VectorClock(4));
+    stream_events(channel, stream, prev, total);
+    EXPECT_TRUE(channel.write_frame(encode_shutdown()));
+    const DecodedFrame goodbye = read_frame(channel);
+    EXPECT_EQ(goodbye.op, Op::kGoodbye);
+    return goodbye.counts;
+  };
+  const CountsBody unwindowed = run(0);
+  const CountsBody windowed = run(64);
+  await_completed(2);
+  EXPECT_EQ(windowed.states, unwindowed.states);  // GC never changes counts
+  EXPECT_EQ(windowed.outstanding_pins, 0u);
+  EXPECT_GT(windowed.reclaimed_events, 0u);
+  // Plateau: the drained windowed poset holds a small suffix, not the run.
+  EXPECT_LT(windowed.resident_bytes, unwindowed.resident_bytes / 2);
+  EXPECT_EQ(server_->stats().leaked_pins, 0u);
+}
+
+// ---- backpressure ----
+
+TEST_F(ServiceTest, SubmitBudgetEngagesAndPreservesCounts) {
+  // Budget of exactly one event: admission degrades to near-serial, the
+  // gate must stall (the codec stops reading the socket), and the final
+  // counts must still match the oracle exactly.
+  SyntheticEventStream::Params params;
+  params.num_threads = 4;
+  params.num_locks = 2;
+  params.sync_probability = 0.8;
+  ParamountServer::Options options;
+  options.submit_budget_bytes = event_cost_bytes(4);
+  start_server(options);
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 4;
+  h.async_workers = 3;  // pooled: submits outpace retirements
+  hello(channel, h);
+  SyntheticEventStream stream(params);
+  std::vector<VectorClock> prev(4, VectorClock(4));
+  const std::uint64_t total = 2000;
+  stream_events(channel, stream, prev, total);
+  ASSERT_TRUE(channel.write_frame(encode_shutdown()));
+  const DecodedFrame goodbye = read_frame(channel);
+  ASSERT_EQ(goodbye.op, Op::kGoodbye);
+  EXPECT_EQ(goodbye.counts.events, total);
+  EXPECT_EQ(goodbye.counts.states, oracle_states(params, total));
+  await_completed(1);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.leaked_pins, 0u);
+  EXPECT_GT(stats.submit_stalls, 0u);
+}
+
+}  // namespace
+}  // namespace paramount::service

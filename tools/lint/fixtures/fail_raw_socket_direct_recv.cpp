@@ -1,0 +1,14 @@
+// Fixture: raw socket I/O outside src/service/ must trigger [raw-socket].
+#include <sys/socket.h>
+
+namespace paramount {
+
+long drain_fd(int fd, void* buf, unsigned long len) {
+  return recv(fd, buf, len, 0);
+}
+
+long push_fd(int fd, const void* buf, unsigned long len) {
+  return ::send(fd, buf, len, 0);
+}
+
+}  // namespace paramount

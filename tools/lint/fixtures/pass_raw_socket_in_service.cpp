@@ -1,0 +1,17 @@
+// lint-as: src/service/fixture_channel.cpp
+// Fixture: the service codec directory is the sanctioned home of raw socket
+// I/O, so the same calls must be clean there — and member functions that
+// merely share the name (send_frame, a .send() method) never fire anywhere.
+#include <sys/socket.h>
+
+namespace paramount::service {
+
+long read_some(int fd, void* buf, unsigned long len) {
+  return ::recv(fd, buf, len, 0);
+}
+
+long write_some(int fd, const void* buf, unsigned long len) {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+}  // namespace paramount::service

@@ -19,6 +19,11 @@ compilers without it). Rules:
   test-sleep-sync No std::this_thread::sleep_for / sleep_until in tests —
                   sleeping is not synchronization; use condition variables,
                   joins, or polling with a deadline.
+  raw-socket      No raw socket I/O calls (send, recv, sendto, recvfrom,
+                  sendmsg, recvmsg) outside src/service/ — the FrameChannel
+                  codec is the one place that touches bytes-on-the-wire, so
+                  framing, partial-write handling, MSG_NOSIGNAL and EINTR
+                  discipline live in exactly one reviewed spot.
 
 Waivers: append `// NOLINT-PM(rule-id): reason` on the offending line or the
 line directly above it. A waiver without a reason is itself an error.
@@ -35,7 +40,8 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("raw-sync", "relaxed-comment", "hot-loop-check", "test-sleep-sync")
+RULES = ("raw-sync", "relaxed-comment", "hot-loop-check", "test-sleep-sync",
+         "raw-socket")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
@@ -49,6 +55,9 @@ FIXTURE_DIR = Path("tools") / "lint" / "fixtures"
 
 # The one legitimate home of raw primitives.
 RAW_SYNC_EXEMPT = {Path("src/util/sync.hpp")}
+
+# The one legitimate home of raw socket I/O (the FrameChannel codec).
+RAW_SOCKET_EXEMPT_DIR = Path("src") / "service"
 
 # Enumeration kernels whose per-state loops must stay free of always-on
 # checks (hot-loop-check).
@@ -68,6 +77,10 @@ RELAXED_COMMENT_WINDOW = 12
 HOT_CHECK_RE = re.compile(r"\bPM_CHECK(?:_MSG)?\s*\(")
 LOOP_HEAD_RE = re.compile(r"(?:^|[;}\s])(?:for|while)\s*\(")
 SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+# Raw socket calls: plain or ::-qualified, but not member calls
+# (channel.send_frame) or other identifiers merely containing the names.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.>])(?:send|recv|sendto|recvfrom|sendmsg|recvmsg)\s*\(")
 NOLINT_RE = re.compile(r"//\s*NOLINT-PM\(([a-z\-]+)\)(\s*:\s*\S.*)?")
 
 
@@ -209,6 +222,18 @@ def check_file(path, rel, lines, findings):
                     path, i + 1, "test-sleep-sync",
                     "sleep-based synchronization in a test — wait on a "
                     "condition variable, a join, or poll with a deadline"))
+
+    # raw-socket
+    if RAW_SOCKET_EXEMPT_DIR not in (rel.parents if rel.parts else ()):
+        for i, cl in enumerate(code):
+            m = RAW_SOCKET_RE.search(cl)
+            if m and not waived("raw-socket", lines, i, findings):
+                call = m.group(0).rstrip("( \t")
+                findings.append(Finding(
+                    path, i + 1, "raw-socket",
+                    f"raw socket call {call}() outside src/service/ — go "
+                    "through service::FrameChannel so framing and error "
+                    "discipline stay in one place"))
 
 
 def scan(paths, root):

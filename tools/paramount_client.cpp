@@ -1,0 +1,210 @@
+// paramount-client: replays a synthetic event stream into a running
+// paramountd over its Unix-domain socket, polling telemetry along the way,
+// and (with --oracle) re-runs the identical stream through the offline
+// driver in-process to check that the service produced bit-identical state
+// counts — the CI service-mode smoke job's differential test.
+//
+// Output is `key: value` lines so shell checks can grep exact fields.
+// Exit codes: 0 success, 1 protocol/transport failure or oracle mismatch,
+// 2 flag usage error.
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/paramount.hpp"
+#include "poset/poset_builder.hpp"
+#include "service/channel.hpp"
+#include "service/frame.hpp"
+#include "util/cli.hpp"
+#include "workloads/event_stream.hpp"
+
+using namespace paramount;
+using namespace paramount::service;
+
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "paramount-client: %s\n", message.c_str());
+  std::exit(1);
+}
+
+// Reads one frame and decodes it; any transport or decode failure is fatal.
+DecodedFrame read_reply(FrameChannel& channel) {
+  std::vector<std::uint8_t> payload;
+  const ReadStatus status = channel.read_frame(&payload);
+  if (status != ReadStatus::kFrame) {
+    die(std::string("server connection ended (") + to_string(status) + ")");
+  }
+  DecodedFrame frame;
+  if (const auto err = decode_frame(payload, &frame)) {
+    die("undecodable server frame: " + err->message);
+  }
+  if (frame.op == Op::kError) {
+    die(std::string("server error frame [") + to_string(frame.error.code) +
+        "]: " + frame.error.message);
+  }
+  return frame;
+}
+
+DecodedFrame expect_reply(FrameChannel& channel, Op op) {
+  DecodedFrame frame = read_reply(channel);
+  if (frame.op != op) {
+    die(std::string("expected ") + to_string(op) + ", got " +
+        to_string(frame.op));
+  }
+  return frame;
+}
+
+// Delta-encodes `clock` against the thread's previous clock.
+std::vector<ClockDelta> delta_encode(const VectorClock& prev,
+                                     const VectorClock& clock) {
+  std::vector<ClockDelta> delta;
+  for (std::size_t j = 0; j < clock.size(); ++j) {
+    if (clock[j] != prev[j]) {
+      delta.push_back({static_cast<std::uint32_t>(j), clock[j]});
+    }
+  }
+  return delta;
+}
+
+void print_u64(const char* key, std::uint64_t value) {
+  std::printf("%s: %" PRIu64 "\n", key, value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "paramount-client — replays a synthetic event stream into paramountd "
+      "and optionally cross-checks the final counts against the offline "
+      "driver (--oracle)");
+  flags.add_string("connect", "paramountd.sock",
+                   "Unix-domain socket of the paramountd to drive");
+  flags.add_int("stream-events", 200000, "events to replay");
+  flags.add_int("stream-threads", 4, "threads in the synthetic stream");
+  flags.add_int("stream-locks", 2, "locks in the synthetic stream");
+  // High sync keeps the state lattice tractable (weakly synchronized
+  // threads make the number of consistent states grow multiplicatively).
+  flags.add_double("sync-prob", 0.8, "per-event lock-sync probability");
+  flags.add_int("seed", 1, "stream RNG seed");
+  flags.add_int("async-workers", 0,
+                "server-side pooled enumeration workers (0 = inline)");
+  flags.add_int("gc-every", 0,
+                "server-side sliding-window collect() cadence (0 = off)");
+  flags.add_string("window-bytes", "",
+                   "server-side byte-budget GC trigger (e.g. 4M; empty = off)");
+  flags.add_int("poll-every", 0,
+                "send a Poll every N events and track telemetry (0 = never)");
+  flags.add_bool("oracle", false,
+                 "re-run the stream through the offline driver and exit 1 "
+                 "unless the state counts match the server's");
+  if (!flags.parse(argc, argv)) return 0;
+
+  SyntheticEventStream::Params params;
+  params.num_threads = static_cast<std::size_t>(
+      flags.get_int_in_range("stream-threads", 1, 512));
+  params.num_locks =
+      static_cast<std::size_t>(flags.get_int_in_range("stream-locks", 1, 1 << 20));
+  params.sync_probability = flags.get_double("sync-prob");
+  params.seed = static_cast<std::uint64_t>(
+      flags.get_int_in_range("seed", 0, std::numeric_limits<std::int64_t>::max()));
+  const std::uint64_t total_events = static_cast<std::uint64_t>(
+      flags.get_int_in_range("stream-events", 0, std::int64_t{1} << 40));
+  const std::uint64_t poll_every = static_cast<std::uint64_t>(
+      flags.get_int_in_range("poll-every", 0, std::int64_t{1} << 40));
+
+  HelloBody hello;
+  hello.num_threads = static_cast<std::uint32_t>(params.num_threads);
+  hello.async_workers = static_cast<std::uint32_t>(
+      flags.get_int_in_range("async-workers", 0, 64));
+  hello.gc_every = static_cast<std::uint64_t>(flags.get_int_in_range(
+      "gc-every", 0, std::numeric_limits<std::int64_t>::max()));
+  const std::string window_bytes = flags.get_string("window-bytes");
+  if (!window_bytes.empty()) {
+    std::uint64_t bytes = 0;
+    if (!parse_byte_size(window_bytes, &bytes)) {
+      std::fprintf(stderr,
+                   "error: --window-bytes expects e.g. 4M / 512K / 1G, got "
+                   "'%s'\n",
+                   window_bytes.c_str());
+      return 2;
+    }
+    hello.window_bytes = bytes;
+  }
+
+  std::string error;
+  FrameChannel channel(connect_unix(flags.get_string("connect"), &error));
+  if (channel.fd() < 0) die(error);
+  if (!channel.write_frame(encode_hello(hello))) die("Hello send failed");
+  const DecodedFrame ack = expect_reply(channel, Op::kHelloAck);
+  print_u64("session_id", ack.hello_ack.session_id);
+
+  SyntheticEventStream stream(params);
+  std::vector<VectorClock> prev(params.num_threads,
+                                VectorClock(params.num_threads));
+  std::uint64_t resident_max = 0;
+  std::uint64_t stats_polls = 0;
+  for (std::uint64_t i = 0; i < total_events; ++i) {
+    const SyntheticEventStream::StreamEvent ev = stream.next();
+    EventBody body;
+    body.tid = ev.tid;
+    body.kind = ev.kind;
+    body.object = ev.object;
+    body.delta = delta_encode(prev[ev.tid], ev.clock);
+    prev[ev.tid] = ev.clock;
+    if (!channel.write_frame(encode_event(body))) die("Event send failed");
+    if (poll_every > 0 && (i + 1) % poll_every == 0) {
+      if (!channel.write_frame(encode_poll())) die("Poll send failed");
+      const DecodedFrame stats = expect_reply(channel, Op::kStats);
+      resident_max = std::max(resident_max, stats.stats.counts.resident_bytes);
+      ++stats_polls;
+    }
+  }
+
+  if (!channel.write_frame(encode_shutdown())) die("Shutdown send failed");
+  const DecodedFrame goodbye = expect_reply(channel, Op::kGoodbye);
+  const CountsBody& counts = goodbye.counts;
+  resident_max = std::max(resident_max, counts.resident_bytes);
+
+  print_u64("events", counts.events);
+  print_u64("states", counts.states);
+  print_u64("intervals", counts.intervals);
+  print_u64("racy_vars", counts.racy_vars);
+  print_u64("resident_bytes_final", counts.resident_bytes);
+  print_u64("resident_bytes_max", resident_max);
+  print_u64("reclaimed_events", counts.reclaimed_events);
+  print_u64("window_evictions", counts.window_evictions);
+  print_u64("outstanding_pins", counts.outstanding_pins);
+  print_u64("stats_polls", stats_polls);
+
+  if (counts.events != total_events) {
+    die("server accepted " + std::to_string(counts.events) + " of " +
+        std::to_string(total_events) + " events");
+  }
+  if (counts.outstanding_pins != 0) die("server leaked EnumGuard pins");
+
+  if (flags.get_bool("oracle")) {
+    // Identical stream, offline: same seed regenerates the same clocks, so
+    // the recorded poset is the one the server built event by event.
+    SyntheticEventStream replay(params);
+    PosetBuilder builder(params.num_threads);
+    for (std::uint64_t i = 0; i < total_events; ++i) {
+      const SyntheticEventStream::StreamEvent ev = replay.next();
+      builder.add_event_with_clock(ev.tid, ev.kind, ev.object, ev.clock);
+    }
+    const Poset poset = std::move(builder).build();
+    ParamountOptions options;
+    options.num_workers = 2;
+    const ParamountResult oracle =
+        enumerate_paramount(poset, options, [](const Frontier&) {});
+    print_u64("oracle_states", oracle.states);
+    if (oracle.states != counts.states) {
+      die("oracle mismatch: offline " + std::to_string(oracle.states) +
+          " states vs service " + std::to_string(counts.states));
+    }
+    std::printf("oracle: match\n");
+  }
+  return 0;
+}

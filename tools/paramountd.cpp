@@ -1,0 +1,65 @@
+// paramountd: trace-driven service mode. Listens on a Unix-domain socket,
+// runs one online ParaMount session per client connection (window GC and
+// pooled enumeration per the client's Hello), and answers Poll frames with
+// live telemetry. See README "Service mode" for the protocol and
+// tools/paramount_client.cpp for a replay client.
+#include <csignal>
+#include <cstdio>
+
+#include "service/daemon_config.hpp"
+#include "service/server.hpp"
+#include "util/cli.hpp"
+
+using namespace paramount;
+using namespace paramount::service;
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "paramountd — online ParaMount enumeration/race-detection server over "
+      "a Unix-domain socket (length-prefixed binary frames; see README "
+      "\"Service mode\")");
+  register_daemon_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+  const DaemonConfig config = resolve_daemon_config(flags);
+
+  // Block the termination signals before any thread spawns so every thread
+  // inherits the mask and sigwait() below is the only consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  ParamountServer server({config.socket_path, config.max_sessions,
+                          config.submit_budget_bytes});
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "paramountd: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("paramountd: listening on %s (max-sessions %u, submit-budget "
+              "%zu bytes)\n",
+              config.socket_path.c_str(), config.max_sessions,
+              config.submit_budget_bytes);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&signals, &sig);
+  std::printf("paramountd: signal %d, draining\n", sig);
+  server.stop();
+
+  const ServerStats stats = server.stats();
+  std::printf("sessions_accepted: %llu\n",
+              static_cast<unsigned long long>(stats.sessions_accepted));
+  std::printf("sessions_completed: %llu\n",
+              static_cast<unsigned long long>(stats.sessions_completed));
+  std::printf("sessions_rejected: %llu\n",
+              static_cast<unsigned long long>(stats.sessions_rejected));
+  std::printf("clean_shutdowns: %llu\n",
+              static_cast<unsigned long long>(stats.clean_shutdowns));
+  std::printf("protocol_errors: %llu\n",
+              static_cast<unsigned long long>(stats.protocol_errors));
+  std::printf("leaked_pins: %llu\n",
+              static_cast<unsigned long long>(stats.leaked_pins));
+  return stats.leaked_pins == 0 ? 0 : 1;
+}
