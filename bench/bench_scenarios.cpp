@@ -1,0 +1,246 @@
+// bench_scenarios: the scenario-corpus trajectory bench.
+//
+// Generates the five workloads/scenarios/ shapes into .pmt traces (so the
+// bench exercises the real on-disk format and the mmap reader, not an
+// in-memory shortcut), replays each through the offline, streaming, and
+// online drivers, and emits BENCH_scenarios.json: one record per
+// (scenario, mode) with states/sec, peak RSS, and the thread pool's
+// queue-wait p99 from telemetry. The three modes enumerate the same lattice,
+// so their `states` fields must agree — the JSON doubles as a cross-mode
+// consistency artifact, and the bench exits 1 if they diverge.
+//
+// Deterministic given --seed: rerunning with the same flags reproduces the
+// same traces and state counts (timings vary).
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online_paramount.hpp"
+#include "core/paramount.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/telemetry.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "util/cli.hpp"
+#include "util/mem_meter.hpp"
+#include "util/timer.hpp"
+#include "workloads/scenarios/scenarios.hpp"
+
+using namespace paramount;
+
+namespace {
+
+struct RunRecord {
+  std::string scenario;
+  std::string mode;
+  std::uint64_t trace_bytes = 0;
+  std::uint64_t events = 0;
+  std::uint64_t states = 0;
+  double seconds = 0.0;
+  double states_per_sec = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  double queue_wait_p99_ns = 0.0;
+};
+
+double queue_wait_p99(const obs::Telemetry& telemetry) {
+  const obs::MetricsSnapshot snap = telemetry.snapshot();
+  const obs::HistogramSnapshot* h = snap.find_histogram("pool.queue_wait_ns");
+  if (h == nullptr || h->count == 0) return 0.0;
+  return h->quantile(0.99);
+}
+
+bool generate_trace(const std::string& name, const ScenarioParams& params,
+                    const std::string& path) {
+  std::unique_ptr<ScenarioStream> scenario = make_scenario(name, params);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "error: unknown scenario '%s'\n", name.c_str());
+    return false;
+  }
+  trace::TraceWriter writer;
+  trace::TraceError error;
+  if (!writer.open(path, params.num_threads, {}, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 error.to_string().c_str());
+    return false;
+  }
+  trace::TraceEvent event;
+  while (scenario->next(&event)) writer.append(event);
+  if (!writer.finish(&error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 error.to_string().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool bench_one(const trace::TraceReader& reader, const std::string& mode,
+               std::size_t workers, std::size_t async_workers,
+               RunRecord* out) {
+  trace::TraceError error;
+  bool ok = false;
+  WallTimer timer;
+  if (mode == "online") {
+    obs::Telemetry telemetry(reader.num_threads() + async_workers);
+    OnlineParamount::Options options;
+    options.async_workers = async_workers;
+    options.telemetry = &telemetry;
+    ok = trace::replay_count_online(reader, options, &out->states, &error);
+    out->seconds = timer.elapsed_seconds();
+    out->queue_wait_p99_ns = queue_wait_p99(telemetry);
+  } else {
+    obs::Telemetry telemetry(workers);
+    ParamountOptions options;
+    options.num_workers = workers;
+    options.telemetry = &telemetry;
+    ok = mode == "offline"
+             ? trace::replay_count_offline(reader, options, &out->states,
+                                           &error)
+             : trace::replay_count_streaming(reader, options, &out->states,
+                                             &error);
+    out->seconds = timer.elapsed_seconds();
+    out->queue_wait_p99_ns = queue_wait_p99(telemetry);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "error: replay (%s): %s\n", mode.c_str(),
+                 error.to_string().c_str());
+    return false;
+  }
+  out->mode = mode;
+  out->trace_bytes = reader.file_size();
+  out->events = reader.total_events();
+  out->states_per_sec = out->seconds > 0.0
+                            ? static_cast<double>(out->states) / out->seconds
+                            : 0.0;
+  out->peak_rss_bytes = peak_rss_bytes();
+  return true;
+}
+
+bool write_json(const std::string& path, const ScenarioParams& params,
+                bool quick, std::size_t workers, std::size_t async_workers,
+                const std::vector<RunRecord>& runs) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("scenarios");
+  w.key("quick").value(quick);
+  w.key("threads").value(static_cast<std::uint64_t>(params.num_threads));
+  w.key("events").value(params.num_events);
+  w.key("seed").value(params.seed);
+  w.key("workers").value(static_cast<std::uint64_t>(workers));
+  w.key("async_workers").value(static_cast<std::uint64_t>(async_workers));
+  w.key("runs").begin_array();
+  for (const RunRecord& run : runs) {
+    w.begin_object();
+    w.key("scenario").value(run.scenario);
+    w.key("mode").value(run.mode);
+    w.key("trace_bytes").value(run.trace_bytes);
+    w.key("events").value(run.events);
+    w.key("states").value(run.states);
+    w.key("seconds").value(run.seconds);
+    w.key("states_per_sec").value(run.states_per_sec);
+    w.key("peak_rss_bytes").value(run.peak_rss_bytes);
+    w.key("queue_wait_p99_ns").value(run.queue_wait_p99_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = std::move(w).take();
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "bench_scenarios — generate the scenario corpus as .pmt traces, replay "
+      "each through the offline/streaming/online drivers, and emit "
+      "BENCH_scenarios.json");
+  flags.add_string("scenario", "", "restrict to one scenario (empty = all)");
+  flags.add_int("threads", 6, "threads per scenario");
+  flags.add_int("events", 20000, "events per scenario trace");
+  flags.add_int("seed", 42, "scenario RNG seed");
+  flags.add_int("workers", 2, "offline/streaming enumeration workers");
+  flags.add_int("async-workers", 2, "online pooled enumeration workers");
+  flags.add_bool("quick", false, "CI-sized corpus (caps --events at 2000)");
+  flags.add_string("out", "BENCH_scenarios.json", "JSON output path");
+  flags.add_string("trace-dir", ".",
+                   "directory for the generated .pmt corpus (must exist)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  ScenarioParams params;
+  params.num_threads = static_cast<std::size_t>(
+      flags.get_int_in_range("threads", 1, 1 << 10));
+  params.num_events = static_cast<std::uint64_t>(
+      flags.get_int_in_range("events", 1, std::int64_t{1} << 32));
+  params.seed = static_cast<std::uint64_t>(
+      flags.get_int_in_range("seed", 0, std::numeric_limits<std::int64_t>::max()));
+  if (flags.get_bool("quick") && params.num_events > 2000) {
+    params.num_events = 2000;
+  }
+  const auto workers = static_cast<std::size_t>(
+      flags.get_int_in_range("workers", 1, 64));
+  const auto async_workers = static_cast<std::size_t>(
+      flags.get_int_in_range("async-workers", 0, 64));
+
+  std::vector<std::string> names;
+  if (const std::string only = flags.get_string("scenario"); !only.empty()) {
+    names.push_back(only);
+  } else {
+    names = scenario_names();
+  }
+
+  const std::string dir = flags.get_string("trace-dir");
+  std::vector<RunRecord> runs;
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name + ".pmt";
+    if (!generate_trace(name, params, path)) return 1;
+    trace::TraceReader reader;
+    trace::TraceError error;
+    if (!reader.open(path, &error)) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   error.to_string().c_str());
+      return 1;
+    }
+    std::uint64_t first_states = 0;
+    for (const char* mode : {"offline", "streaming", "online"}) {
+      RunRecord run;
+      run.scenario = name;
+      if (!bench_one(reader, mode, workers, async_workers, &run)) return 1;
+      std::printf("%-14s %-10s events=%llu states=%llu  %.3fs  %.3g st/s\n",
+                  name.c_str(), mode,
+                  static_cast<unsigned long long>(run.events),
+                  static_cast<unsigned long long>(run.states), run.seconds,
+                  run.states_per_sec);
+      if (runs.empty() || runs.back().scenario != name) {
+        first_states = run.states;
+      } else if (run.states != first_states) {
+        std::fprintf(stderr,
+                     "error: %s: %s counted %llu states, expected %llu — "
+                     "modes diverged\n",
+                     name.c_str(), mode,
+                     static_cast<unsigned long long>(run.states),
+                     static_cast<unsigned long long>(first_states));
+        return 1;
+      }
+      runs.push_back(std::move(run));
+    }
+  }
+
+  const std::string out = flags.get_string("out");
+  if (!write_json(out, params, flags.get_bool("quick"), workers, async_workers,
+                  runs)) {
+    return 1;
+  }
+  std::printf("wrote %s (%zu runs)\n", out.c_str(), runs.size());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// TraceFileSink: records a traced execution into an on-disk .pmt file.
+//
+// The persistent sibling of RecordingSink (recording_sink.hpp): instead of
+// materializing a Poset in memory, events stream through a
+// trace::TraceWriter into the compact chunked format of src/trace/format.hpp
+// and can be replayed later — through enumerate_paramount, the streaming
+// pipeline, OnlineParamount, or paramountd — without re-running the program.
+//
+// The arrival order IS the file order. TraceRuntime delivers events in a
+// valid →p (Property 1), so a sequential replay of the file feeds Algorithm 4
+// the same kind of order the live execution did. One mutex serializes
+// concurrent traced threads; the writer below it is single-threaded.
+#pragma once
+
+#include <string>
+
+#include "runtime/trace_sink.hpp"
+#include "trace/trace_writer.hpp"
+#include "util/sync.hpp"
+
+namespace paramount {
+
+class TraceFileSink final : public TraceSink {
+ public:
+  // Opens `path` for writing. Check ok() before tracing into the sink.
+  // With `access_table` set, kCollection events are written with their
+  // access lists (the tracer publishes the set before emitting the event),
+  // making the file self-contained for race-detecting replays.
+  TraceFileSink(const std::string& path, std::size_t num_threads,
+                const AccessTable* access_table = nullptr,
+                trace::TraceWriter::Options options = {})
+      : access_table_(access_table) {
+    ok_ = writer_.open(path, num_threads, options, &error_);
+  }
+
+  // For the sink-before-runtime construction order: point the sink at the
+  // runtime's table after the runtime exists, before the program runs.
+  void set_access_table(const AccessTable* access_table) {
+    access_table_ = access_table;
+  }
+
+  bool ok() const {
+    MutexLock guard(mutex_);
+    return ok_;
+  }
+  trace::TraceError error() const {
+    MutexLock guard(mutex_);
+    return error_;
+  }
+
+  void on_event(ThreadId tid, OpKind kind, std::uint32_t object,
+                const VectorClock& clock) override {
+    MutexLock guard(mutex_);
+    if (!ok_) return;
+    if (kind == OpKind::kCollection && access_table_ != nullptr) {
+      trace::TraceEvent event;
+      event.tid = tid;
+      event.kind = kind;
+      event.object = object;
+      event.clock = clock;
+      const AccessSet& set = access_table_->get(tid, object);
+      event.accesses.reserve(set.size());
+      for (const Access& a : set) {
+        event.accesses.push_back(trace::TraceAccess{a.var, a.is_write,
+                                                    a.is_init});
+      }
+      writer_.append(event);
+      return;
+    }
+    writer_.append(tid, kind, object, clock);
+  }
+
+  // Flushes and closes the file. Call once, after the traced execution
+  // finished; returns false (with error() set) if any write failed.
+  bool finish() {
+    MutexLock guard(mutex_);
+    if (!ok_) return false;
+    ok_ = writer_.finish(&error_);
+    return ok_;
+  }
+
+  std::uint64_t events_written() const {
+    MutexLock guard(mutex_);
+    return writer_.events_written();
+  }
+
+ private:
+  mutable Mutex mutex_;
+  const AccessTable* access_table_ = nullptr;  // published-only reads
+  trace::TraceWriter writer_ PM_GUARDED_BY(mutex_);
+  bool ok_ PM_GUARDED_BY(mutex_) = false;
+  trace::TraceError error_ PM_GUARDED_BY(mutex_);
+};
+
+}  // namespace paramount

@@ -126,8 +126,7 @@ bool Session::handle_hello(const HelloBody& body) {
   detector_ = std::make_unique<OnlineRaceDetector>(num_threads_,
                                                    std::move(options));
   detector_->attach(*access_table_);
-  prev_clock_.assign(num_threads_, VectorClock(num_threads_));
-  published_.assign(num_threads_, 0);
+  validator_ = std::make_unique<ClockValidator>(num_threads_);
   state_ = State::kStreaming;
   result_.hello_seen = true;
   const auto ack = encode_hello_ack({kProtocolVersion, session_id_});
@@ -142,9 +141,11 @@ bool Session::handle_event(const EventBody& body) {
   }
   const ThreadId tid = body.tid;
   // Reconstruct the absolute clock from the delta against this thread's
-  // previous event, then validate it as strictly as OnlinePoset::insert()
-  // would — a violation must yield an Error frame, never an abort.
-  VectorClock clock = prev_clock_[tid];
+  // previous event, then validate it via the shared ClockValidator — the
+  // same checks the trace replayer applies, as strict as
+  // OnlinePoset::insert(): a violation must yield an Error frame, never an
+  // abort.
+  VectorClock clock = validator_->prev_clock(tid);
   for (const ClockDelta& d : body.delta) {
     if (d.component >= num_threads_) {
       send_error(ErrorCode::kBadEvent, "clock delta component out of range");
@@ -156,25 +157,13 @@ bool Session::handle_event(const EventBody& body) {
     }
     clock[d.component] = static_cast<EventIndex>(d.value);
   }
-  if (clock[tid] != published_[tid] + 1) {
-    send_error(ErrorCode::kBadEvent,
-               "own clock component must equal the event's index " +
-                   std::to_string(published_[tid] + 1));
+  const ClockValidator::Verdict verdict = validator_->validate(tid, clock);
+  if (verdict != ClockValidator::Verdict::kOk) {
+    send_error(verdict == ClockValidator::Verdict::kRegression
+                   ? ErrorCode::kClockRegression
+                   : ErrorCode::kBadEvent,
+               validator_->describe(tid, verdict));
     return false;
-  }
-  if (!prev_clock_[tid].leq(clock)) {
-    send_error(ErrorCode::kClockRegression,
-               "clock not componentwise monotone on thread " +
-                   std::to_string(tid));
-    return false;
-  }
-  for (ThreadId j = 0; j < num_threads_; ++j) {
-    if (j != tid && clock[j] > published_[j]) {
-      send_error(ErrorCode::kBadEvent,
-                 "clock references unpublished event of thread " +
-                     std::to_string(j));
-      return false;
-    }
   }
   if (!body.accesses.empty() && body.kind != OpKind::kCollection) {
     send_error(ErrorCode::kBadEvent,
@@ -195,8 +184,7 @@ bool Session::handle_event(const EventBody& body) {
   // interval budget admits the event; pooled workers return the charge via
   // interval_done.
   gate_->acquire(event_cost_);
-  published_[tid] += 1;
-  prev_clock_[tid] = clock;
+  validator_->commit(tid, clock);
   ++events_accepted_;
   detector_->on_event(tid, body.kind, object, clock);
   return true;

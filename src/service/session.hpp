@@ -23,6 +23,7 @@
 
 #include "detect/online_detector.hpp"
 #include "obs/telemetry.hpp"
+#include "poset/clock_validator.hpp"
 #include "service/channel.hpp"
 #include "service/frame.hpp"
 #include "util/submit_gate.hpp"
@@ -93,8 +94,9 @@ class Session {
   std::unique_ptr<AccessTable> access_table_;
   std::unique_ptr<SubmitGate> gate_;
   std::unique_ptr<OnlineRaceDetector> detector_;
-  std::vector<VectorClock> prev_clock_;   // last accepted clock per thread
-  std::vector<EventIndex> published_;     // accepted event count per thread
+  // Shared wire/trace clock checker (poset/clock_validator.hpp): enforces
+  // the same invariants OnlinePoset::insert() PM_CHECKs, as typed errors.
+  std::unique_ptr<ClockValidator> validator_;
   std::uint64_t events_accepted_ = 0;
 };
 

@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// Every chunk payload and the footer index of a .pmt trace file carry a
+// CRC so bit rot, truncation mid-payload, and hand-edited files are caught
+// before any decoded value is trusted. Table-driven, one byte per step —
+// trace verification is I/O bound, not CRC bound, so the simple form wins
+// over slice-by-8 on clarity.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace paramount::trace {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+// One-shot CRC of `len` bytes. Streaming use: pass the previous return value
+// as `seed` (the pre/post inversion composes correctly across calls only for
+// one-shot use; chunks are CRCed whole, so one-shot is all we need).
+inline std::uint32_t crc32(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace paramount::trace

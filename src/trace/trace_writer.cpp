@@ -1,0 +1,200 @@
+#include "trace/trace_writer.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "trace/crc32.hpp"
+#include "trace/varint.hpp"
+#include "util/check.hpp"
+
+namespace paramount::trace {
+
+namespace {
+
+// Encoded payload size at which a chunk flushes even below the event quota,
+// far under kMaxChunkPayload so readers never see an oversized chunk.
+constexpr std::size_t kSoftPayloadLimit = std::size_t{1} << 20;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+}  // namespace
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) {
+    TraceError ignored;
+    finish(&ignored);
+  }
+}
+
+bool TraceWriter::open(const std::string& path, std::size_t num_threads,
+                       Options options, TraceError* error) {
+  PM_CHECK_MSG(file_ == nullptr, "TraceWriter::open on an open writer");
+  PM_CHECK(num_threads > 0 && num_threads <= kMaxThreads);
+  PM_CHECK(options.events_per_chunk > 0);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    *error = {TraceErrorCode::kIoError,
+              path + ": " + std::strerror(errno)};
+    return false;
+  }
+  options_ = options;
+  validator_ = ClockValidator(num_threads);
+  io_error_ = false;
+  payload_.clear();
+  chunk_events_ = 0;
+  seen_in_chunk_.assign(num_threads, 0);
+  chunk_base_.assign(num_threads, 0);
+  chunk_index_.clear();
+  events_written_ = 0;
+  bytes_written_ = 0;
+
+  std::vector<std::uint8_t> header;
+  put_u64(header, kFileMagic);
+  put_u32(header, kFormatVersion);
+  put_u32(header, static_cast<std::uint32_t>(num_threads));
+  put_u64(header, 0);  // flags, reserved
+  PM_DCHECK(header.size() == kFileHeaderBytes);
+  write_bytes(header.data(), header.size());
+  return true;
+}
+
+void TraceWriter::append(const TraceEvent& event) {
+  PM_CHECK_MSG(file_ != nullptr, "TraceWriter::append on a closed writer");
+  PM_CHECK_MSG(event.clock.size() == num_threads(),
+               "trace event clock width mismatch");
+  PM_CHECK_MSG(
+      event.accesses.empty() || event.kind == OpKind::kCollection,
+      "accesses are only valid on collection events");
+  const ClockValidator::Verdict verdict =
+      validator_.validate(event.tid, event.clock);
+  PM_CHECK_MSG(verdict == ClockValidator::Verdict::kOk,
+               "trace event clock violates the stream invariants");
+  const VectorClock& prev = validator_.prev_clock(event.tid);
+
+  const bool absolute = seen_in_chunk_[event.tid] == 0;
+  put_varint(payload_, event.tid);
+  payload_.push_back(static_cast<std::uint8_t>(event.kind));
+  std::uint8_t flags = absolute ? kAbsoluteClock : 0;
+  if (!event.accesses.empty()) flags |= kHasAccesses;
+  payload_.push_back(flags);
+  put_varint(payload_, event.object);
+
+  // Clock: sparse ascending (gap, value) pairs — full values for absolute
+  // records, strictly positive increments for delta records.
+  std::uint32_t count = 0;
+  for (std::size_t j = 0; j < event.clock.size(); ++j) {
+    if (absolute ? event.clock[j] != 0 : event.clock[j] != prev[j]) ++count;
+  }
+  put_varint(payload_, count);
+  std::size_t prev_component = 0;
+  bool first = true;
+  for (std::size_t j = 0; j < event.clock.size(); ++j) {
+    if (absolute ? event.clock[j] == 0 : event.clock[j] == prev[j]) continue;
+    put_varint(payload_, first ? j : j - prev_component - 1);
+    put_varint(payload_, absolute ? event.clock[j] : event.clock[j] - prev[j]);
+    prev_component = j;
+    first = false;
+  }
+
+  if (!event.accesses.empty()) {
+    put_varint(payload_, event.accesses.size());
+    for (const TraceAccess& a : event.accesses) {
+      put_varint(payload_, a.var);
+      std::uint8_t aflags = 0;
+      if (a.is_write) aflags |= kAccessIsWrite;
+      if (a.is_init) aflags |= kAccessIsInit;
+      payload_.push_back(aflags);
+    }
+  }
+
+  validator_.commit(event.tid, event.clock);
+  seen_in_chunk_[event.tid] = 1;
+  ++chunk_events_;
+  ++events_written_;
+  if (chunk_events_ >= options_.events_per_chunk ||
+      payload_.size() >= kSoftPayloadLimit) {
+    flush_chunk();
+  }
+}
+
+void TraceWriter::flush_chunk() {
+  if (chunk_events_ == 0) return;
+  ChunkEntry entry;
+  entry.offset = bytes_written_;
+  entry.first_event = events_written_ - chunk_events_;
+  entry.event_count = chunk_events_;
+  entry.published_base = chunk_base_;
+  chunk_index_.push_back(std::move(entry));
+
+  std::vector<std::uint8_t> header;
+  put_u32(header, kChunkMagic);
+  put_u32(header, static_cast<std::uint32_t>(payload_.size()));
+  put_u32(header, chunk_events_);
+  put_u32(header, crc32(payload_.data(), payload_.size()));
+  PM_DCHECK(header.size() == kChunkHeaderBytes);
+  write_bytes(header.data(), header.size());
+  write_bytes(payload_.data(), payload_.size());
+
+  payload_.clear();
+  chunk_events_ = 0;
+  std::fill(seen_in_chunk_.begin(), seen_in_chunk_.end(), 0);
+  for (std::size_t t = 0; t < chunk_base_.size(); ++t) {
+    chunk_base_[t] = validator_.published(static_cast<ThreadId>(t));
+  }
+}
+
+bool TraceWriter::finish(TraceError* error) {
+  if (file_ == nullptr) return !io_error_;
+  flush_chunk();
+
+  std::vector<std::uint8_t> index;
+  for (const ChunkEntry& entry : chunk_index_) {
+    put_varint(index, entry.offset);
+    put_varint(index, entry.first_event);
+    put_varint(index, entry.event_count);
+    for (EventIndex published : entry.published_base) {
+      put_varint(index, published);
+    }
+  }
+  const std::uint64_t index_offset = bytes_written_;
+  write_bytes(index.data(), index.size());
+
+  std::vector<std::uint8_t> trailer;
+  put_u64(trailer, events_written_);
+  put_u32(trailer, static_cast<std::uint32_t>(chunk_index_.size()));
+  put_u32(trailer, crc32(index.data(), index.size()));
+  put_u64(trailer, index_offset);
+  put_u64(trailer, index.size());
+  put_u64(trailer, kFooterMagic);
+  PM_DCHECK(trailer.size() == kFileTrailerBytes);
+  write_bytes(trailer.data(), trailer.size());
+
+  if (std::fclose(file_) != 0) io_error_ = true;
+  file_ = nullptr;
+  if (io_error_) {
+    *error = {TraceErrorCode::kIoError, "trace write failed"};
+    return false;
+  }
+  return true;
+}
+
+void TraceWriter::write_bytes(const void* data, std::size_t len) {
+  if (io_error_ || len == 0) {
+    bytes_written_ += len;
+    return;
+  }
+  if (std::fwrite(data, 1, len, file_) != len) io_error_ = true;
+  bytes_written_ += len;
+}
+
+}  // namespace paramount::trace

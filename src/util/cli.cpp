@@ -160,6 +160,7 @@ bool CliFlags::parse(int argc, char** argv) {
           usage_error("--no-" + neg->first + " does not take a value", help());
         }
         neg->second.bool_value = false;
+        neg->second.provided = true;
         continue;
       }
     }
@@ -168,6 +169,7 @@ bool CliFlags::parse(int argc, char** argv) {
     }
 
     Flag& flag = it->second;
+    flag.provided = true;
     if (!has_value) {
       if (flag.kind == Kind::kBool) {
         flag.bool_value = true;
@@ -189,6 +191,12 @@ const CliFlags::Flag& CliFlags::find(const std::string& name,
   PM_CHECK_MSG(it != flags_.end(), "flag not registered");
   PM_CHECK_MSG(it->second.kind == kind, "flag accessed with wrong type");
   return it->second;
+}
+
+bool CliFlags::provided(const std::string& name) const {
+  auto it = flags_.find(name);
+  PM_CHECK_MSG(it != flags_.end(), "flag not registered");
+  return it->second.provided;
 }
 
 std::int64_t CliFlags::get_int(const std::string& name) const {

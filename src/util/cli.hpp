@@ -38,6 +38,11 @@ class CliFlags {
   // aborts with a message on malformed input or unknown flags.
   bool parse(int argc, char** argv);
 
+  // True iff the flag was explicitly set on the command line (including via
+  // --no-flag), as opposed to holding its registered default. Lets front
+  // ends enforce mutual exclusion between flag groups.
+  bool provided(const std::string& name) const;
+
   std::int64_t get_int(const std::string& name) const;
   // Like get_int, but exits with a friendly usage error (naming the flag and
   // the accepted range) unless lo <= value <= hi. Front ends use this so
@@ -57,6 +62,7 @@ class CliFlags {
   struct Flag {
     Kind kind;
     std::string help;
+    bool provided = false;  // explicitly set by parse()
     std::int64_t int_value = 0;
     double double_value = 0.0;
     bool bool_value = false;

@@ -16,7 +16,28 @@
 #include <limits>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace paramount {
+
+// Peak resident set size of this process as reported by the OS, 0 where
+// unsupported. The process-level complement of MemoryMeter's byte
+// accounting; the bench harnesses report both.
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 // Thrown by budget-enforcing meters; the bench harness reports "o.o.m." for
 // the run, mirroring the paper's Table 1.

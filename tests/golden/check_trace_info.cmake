@@ -1,0 +1,29 @@
+# Golden check for `paramount-trace info`: regenerates the fixed-seed
+# lock-convoy trace and diffs the info output against the committed golden.
+# Any drift in the on-disk layout (header size, chunk framing, encoding
+# width) shows up here as a byte count or chunk boundary change — bump the
+# format version and regenerate the golden deliberately, never silently.
+#
+# Variables: TRACE_TOOL (paramount-trace binary), GOLDEN (committed file),
+# WORK_DIR (scratch).
+set(trace_file ${WORK_DIR}/golden_lock_convoy.pmt)
+execute_process(
+  COMMAND ${TRACE_TOOL} gen --scenario=lock-convoy --threads=6 --events=5000
+          --seed=42 --out=${trace_file}
+  RESULT_VARIABLE gen_result OUTPUT_QUIET)
+if(NOT gen_result EQUAL 0)
+  message(FATAL_ERROR "paramount-trace gen failed (${gen_result})")
+endif()
+
+execute_process(
+  COMMAND ${TRACE_TOOL} info --input=${trace_file} --chunks
+  RESULT_VARIABLE info_result OUTPUT_VARIABLE got)
+if(NOT info_result EQUAL 0)
+  message(FATAL_ERROR "paramount-trace info failed (${info_result})")
+endif()
+
+file(READ ${GOLDEN} want)
+if(NOT got STREQUAL want)
+  message(FATAL_ERROR "info output drifted from ${GOLDEN}:\n"
+                      "---- got ----\n${got}\n---- want ----\n${want}")
+endif()

@@ -1,0 +1,8 @@
+// Fixture: raw mmap/open syscalls outside src/trace/ must trigger raw-mmap.
+#include <fcntl.h>
+#include <sys/mman.h>
+
+void* map_config_file(std::size_t size) {
+  const int fd = ::open("config.bin", O_RDONLY);
+  return mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+}

@@ -1,0 +1,22 @@
+// lint-as: src/trace/fixture_reader.cpp
+// Fixture: the .pmt reader/writer are the legitimate home of raw
+// mmap/open syscalls, and member/stdio calls never fire the rule anywhere.
+#include <cstdio>
+#include <fcntl.h>
+#include <sys/mman.h>
+
+void* map_trace(std::size_t size) {
+  const int fd = ::open("trace.pmt", O_RDONLY | O_CLOEXEC);
+  void* data = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  return data;
+}
+
+struct Writer {
+  bool open(const char* path);
+};
+
+bool use_member_and_stdio(Writer& writer) {
+  std::FILE* f = std::fopen("notes.txt", "r");
+  if (f != nullptr) std::fclose(f);
+  return writer.open("out.pmt");
+}

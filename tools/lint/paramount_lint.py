@@ -24,6 +24,11 @@ compilers without it). Rules:
                   codec is the one place that touches bytes-on-the-wire, so
                   framing, partial-write handling, MSG_NOSIGNAL and EINTR
                   discipline live in exactly one reviewed spot.
+  raw-mmap        No raw file-mapping or fd syscalls (mmap, munmap, msync,
+                  madvise, open, openat) outside src/trace/ — the .pmt
+                  reader/writer own the mapped-file lifecycle, so bounds
+                  discipline and unmap-on-close live in exactly one reviewed
+                  spot. Buffered stdio (fopen) is fine anywhere.
 
 Waivers: append `// NOLINT-PM(rule-id): reason` on the offending line or the
 line directly above it. A waiver without a reason is itself an error.
@@ -41,7 +46,7 @@ import sys
 from pathlib import Path
 
 RULES = ("raw-sync", "relaxed-comment", "hot-loop-check", "test-sleep-sync",
-         "raw-socket")
+         "raw-socket", "raw-mmap")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
@@ -58,6 +63,9 @@ RAW_SYNC_EXEMPT = {Path("src/util/sync.hpp")}
 
 # The one legitimate home of raw socket I/O (the FrameChannel codec).
 RAW_SOCKET_EXEMPT_DIR = Path("src") / "service"
+
+# The one legitimate home of raw mmap/fd syscalls (the .pmt reader/writer).
+RAW_MMAP_EXEMPT_DIR = Path("src") / "trace"
 
 # Enumeration kernels whose per-state loops must stay free of always-on
 # checks (hot-loop-check).
@@ -81,6 +89,10 @@ SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
 # (channel.send_frame) or other identifiers merely containing the names.
 RAW_SOCKET_RE = re.compile(
     r"(?<![\w.>])(?:send|recv|sendto|recvfrom|sendmsg|recvmsg)\s*\(")
+# Raw mapping/fd calls: plain or ::-qualified, but not member calls
+# (writer.open) or identifiers merely containing the names (fopen).
+RAW_MMAP_RE = re.compile(
+    r"(?<![\w.>])(?:mmap|munmap|msync|madvise|open|openat)\s*\(")
 NOLINT_RE = re.compile(r"//\s*NOLINT-PM\(([a-z\-]+)\)(\s*:\s*\S.*)?")
 
 
@@ -234,6 +246,18 @@ def check_file(path, rel, lines, findings):
                     f"raw socket call {call}() outside src/service/ — go "
                     "through service::FrameChannel so framing and error "
                     "discipline stay in one place"))
+
+    # raw-mmap
+    if RAW_MMAP_EXEMPT_DIR not in (rel.parents if rel.parts else ()):
+        for i, cl in enumerate(code):
+            m = RAW_MMAP_RE.search(cl)
+            if m and not waived("raw-mmap", lines, i, findings):
+                call = m.group(0).rstrip("( \t")
+                findings.append(Finding(
+                    path, i + 1, "raw-mmap",
+                    f"raw file-mapping call {call}() outside src/trace/ — "
+                    "go through trace::TraceReader/TraceWriter so mapped-"
+                    "file bounds and lifetime stay in one place"))
 
 
 def scan(paths, root):

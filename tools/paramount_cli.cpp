@@ -20,10 +20,6 @@
 #include <limits>
 #include <string>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "core/online_paramount.hpp"
 #include "core/paramount.hpp"
 #include "detect/conjunctive.hpp"
@@ -32,6 +28,7 @@
 #include "poset/poset_io.hpp"
 #include "poset/topo_sort.hpp"
 #include "util/cli.hpp"
+#include "util/mem_meter.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -61,21 +58,6 @@ TopoPolicy parse_policy(const std::string& name) {
 std::string format_ns(double ns) {
   if (std::isnan(ns)) return "-";
   return format_seconds(ns * 1e-9);
-}
-
-// Peak resident set size of this process, 0 where unsupported.
-std::size_t peak_rss_bytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
-#else
-  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
-#endif
-#else
-  return 0;
-#endif
 }
 
 obs::SpanTracer::OverflowPolicy trace_overflow(const CliFlags& flags) {

@@ -1,8 +1,12 @@
-// paramount-client: replays a synthetic event stream into a running
-// paramountd over its Unix-domain socket, polling telemetry along the way,
-// and (with --oracle) re-runs the identical stream through the offline
-// driver in-process to check that the service produced bit-identical state
-// counts — the CI service-mode smoke job's differential test.
+// paramount-client: replays an event stream into a running paramountd over
+// its Unix-domain socket, polling telemetry along the way, and (with
+// --oracle) re-runs the identical stream through the offline driver
+// in-process to check that the service produced bit-identical state counts
+// — the CI service-mode smoke job's differential test.
+//
+// The stream is either synthetic (--stream-* / --sync-prob / --seed) or a
+// recorded .pmt trace (--trace-file); the two sources are mutually
+// exclusive.
 //
 // Output is `key: value` lines so shell checks can grep exact fields.
 // Exit codes: 0 success, 1 protocol/transport failure or oracle mismatch,
@@ -17,6 +21,8 @@
 #include "poset/poset_builder.hpp"
 #include "service/channel.hpp"
 #include "service/frame.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace_reader.hpp"
 #include "util/cli.hpp"
 #include "workloads/event_stream.hpp"
 
@@ -77,11 +83,15 @@ void print_u64(const char* key, std::uint64_t value) {
 
 int main(int argc, char** argv) {
   CliFlags flags(
-      "paramount-client — replays a synthetic event stream into paramountd "
-      "and optionally cross-checks the final counts against the offline "
-      "driver (--oracle)");
+      "paramount-client — replays a synthetic event stream or a recorded "
+      ".pmt trace into paramountd and optionally cross-checks the final "
+      "counts against the offline driver (--oracle)");
   flags.add_string("connect", "paramountd.sock",
                    "Unix-domain socket of the paramountd to drive");
+  flags.add_string("trace-file", "",
+                   "replay a recorded .pmt trace instead of a synthetic "
+                   "stream (excludes the --stream-*/--sync-prob/--seed "
+                   "flags)");
   flags.add_int("stream-events", 200000, "events to replay");
   flags.add_int("stream-threads", 4, "threads in the synthetic stream");
   flags.add_int("stream-locks", 2, "locks in the synthetic stream");
@@ -102,6 +112,33 @@ int main(int argc, char** argv) {
                  "unless the state counts match the server's");
   if (!flags.parse(argc, argv)) return 0;
 
+  // A trace fixes the stream entirely, so every synthetic-stream knob is
+  // meaningless alongside it — reject the combination rather than silently
+  // ignoring half the command line.
+  const std::string trace_file = flags.get_string("trace-file");
+  const bool from_trace = !trace_file.empty();
+  if (from_trace) {
+    for (const char* name :
+         {"stream-events", "stream-threads", "stream-locks", "sync-prob",
+          "seed"}) {
+      if (flags.provided(name)) {
+        std::fprintf(stderr,
+                     "error: --trace-file and --%s are mutually exclusive "
+                     "(the trace already fixes the stream)\n",
+                     name);
+        return 2;
+      }
+    }
+  }
+
+  trace::TraceReader reader;
+  if (from_trace) {
+    trace::TraceError trace_error;
+    if (!reader.open(trace_file, &trace_error)) {
+      die(trace_file + ": " + trace_error.to_string());
+    }
+  }
+
   SyntheticEventStream::Params params;
   params.num_threads = static_cast<std::size_t>(
       flags.get_int_in_range("stream-threads", 1, 512));
@@ -110,13 +147,17 @@ int main(int argc, char** argv) {
   params.sync_probability = flags.get_double("sync-prob");
   params.seed = static_cast<std::uint64_t>(
       flags.get_int_in_range("seed", 0, std::numeric_limits<std::int64_t>::max()));
-  const std::uint64_t total_events = static_cast<std::uint64_t>(
-      flags.get_int_in_range("stream-events", 0, std::int64_t{1} << 40));
+  const std::uint64_t total_events =
+      from_trace ? reader.total_events()
+                 : static_cast<std::uint64_t>(flags.get_int_in_range(
+                       "stream-events", 0, std::int64_t{1} << 40));
   const std::uint64_t poll_every = static_cast<std::uint64_t>(
       flags.get_int_in_range("poll-every", 0, std::int64_t{1} << 40));
+  const std::size_t num_threads =
+      from_trace ? reader.num_threads() : params.num_threads;
 
   HelloBody hello;
-  hello.num_threads = static_cast<std::uint32_t>(params.num_threads);
+  hello.num_threads = static_cast<std::uint32_t>(num_threads);
   hello.async_workers = static_cast<std::uint32_t>(
       flags.get_int_in_range("async-workers", 0, 64));
   hello.gc_every = static_cast<std::uint64_t>(flags.get_int_in_range(
@@ -141,25 +182,50 @@ int main(int argc, char** argv) {
   const DecodedFrame ack = expect_reply(channel, Op::kHelloAck);
   print_u64("session_id", ack.hello_ack.session_id);
 
-  SyntheticEventStream stream(params);
-  std::vector<VectorClock> prev(params.num_threads,
-                                VectorClock(params.num_threads));
+  std::vector<VectorClock> prev(num_threads, VectorClock(num_threads));
   std::uint64_t resident_max = 0;
   std::uint64_t stats_polls = 0;
-  for (std::uint64_t i = 0; i < total_events; ++i) {
-    const SyntheticEventStream::StreamEvent ev = stream.next();
-    EventBody body;
-    body.tid = ev.tid;
-    body.kind = ev.kind;
-    body.object = ev.object;
-    body.delta = delta_encode(prev[ev.tid], ev.clock);
-    prev[ev.tid] = ev.clock;
+  const auto pump = [&](const EventBody& body, std::uint64_t i) {
     if (!channel.write_frame(encode_event(body))) die("Event send failed");
     if (poll_every > 0 && (i + 1) % poll_every == 0) {
       if (!channel.write_frame(encode_poll())) die("Poll send failed");
       const DecodedFrame stats = expect_reply(channel, Op::kStats);
       resident_max = std::max(resident_max, stats.stats.counts.resident_bytes);
       ++stats_polls;
+    }
+  };
+  if (from_trace) {
+    trace::TraceCursor cursor = reader.cursor();
+    trace::TraceEvent ev;
+    trace::TraceError trace_error;
+    for (std::uint64_t i = 0; i < total_events; ++i) {
+      const trace::TraceCursor::Status status = cursor.next(&ev, &trace_error);
+      if (status != trace::TraceCursor::Status::kOk) {
+        die(trace_file + ": " + trace_error.to_string());
+      }
+      EventBody body;
+      body.tid = ev.tid;
+      body.kind = ev.kind;
+      body.object = ev.object;
+      body.delta = delta_encode(prev[ev.tid], ev.clock);
+      prev[ev.tid] = ev.clock;
+      body.accesses.reserve(ev.accesses.size());
+      for (const trace::TraceAccess& a : ev.accesses) {
+        body.accesses.push_back(AccessRecord{a.var, a.is_write, a.is_init});
+      }
+      pump(body, i);
+    }
+  } else {
+    SyntheticEventStream stream(params);
+    for (std::uint64_t i = 0; i < total_events; ++i) {
+      const SyntheticEventStream::StreamEvent ev = stream.next();
+      EventBody body;
+      body.tid = ev.tid;
+      body.kind = ev.kind;
+      body.object = ev.object;
+      body.delta = delta_encode(prev[ev.tid], ev.clock);
+      prev[ev.tid] = ev.clock;
+      pump(body, i);
     }
   }
 
@@ -186,22 +252,32 @@ int main(int argc, char** argv) {
   if (counts.outstanding_pins != 0) die("server leaked EnumGuard pins");
 
   if (flags.get_bool("oracle")) {
-    // Identical stream, offline: same seed regenerates the same clocks, so
-    // the recorded poset is the one the server built event by event.
-    SyntheticEventStream replay(params);
-    PosetBuilder builder(params.num_threads);
-    for (std::uint64_t i = 0; i < total_events; ++i) {
-      const SyntheticEventStream::StreamEvent ev = replay.next();
-      builder.add_event_with_clock(ev.tid, ev.kind, ev.object, ev.clock);
-    }
-    const Poset poset = std::move(builder).build();
+    // Identical stream, offline. Synthetic: the same seed regenerates the
+    // same clocks. Trace: a second decode of the same file. Either way the
+    // recorded poset is the one the server built event by event.
     ParamountOptions options;
     options.num_workers = 2;
-    const ParamountResult oracle =
-        enumerate_paramount(poset, options, [](const Frontier&) {});
-    print_u64("oracle_states", oracle.states);
-    if (oracle.states != counts.states) {
-      die("oracle mismatch: offline " + std::to_string(oracle.states) +
+    std::uint64_t oracle_states = 0;
+    if (from_trace) {
+      trace::TraceError trace_error;
+      if (!trace::replay_count_offline(reader, options, &oracle_states,
+                                       &trace_error)) {
+        die(trace_file + ": " + trace_error.to_string());
+      }
+    } else {
+      SyntheticEventStream replay(params);
+      PosetBuilder builder(params.num_threads);
+      for (std::uint64_t i = 0; i < total_events; ++i) {
+        const SyntheticEventStream::StreamEvent ev = replay.next();
+        builder.add_event_with_clock(ev.tid, ev.kind, ev.object, ev.clock);
+      }
+      const Poset poset = std::move(builder).build();
+      oracle_states =
+          enumerate_paramount(poset, options, [](const Frontier&) {}).states;
+    }
+    print_u64("oracle_states", oracle_states);
+    if (oracle_states != counts.states) {
+      die("oracle mismatch: offline " + std::to_string(oracle_states) +
           " states vs service " + std::to_string(counts.states));
     }
     std::printf("oracle: match\n");
