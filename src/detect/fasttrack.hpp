@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "detect/race_report.hpp"
+#include "poset/epoch.hpp"
 #include "runtime/trace_sink.hpp"
 #include "util/sync.hpp"
 
@@ -38,16 +39,6 @@ class FastTrackDetector final : public TraceSink {
   const RaceReport& report() const { return report_; }
 
  private:
-  struct Epoch {
-    ThreadId tid = 0;
-    EventIndex clk = 0;
-    bool valid() const { return clk != 0; }
-    // epoch ≼ C  iff  clk ≤ C[tid]
-    bool happens_before(const VectorClock& clock) const {
-      return clk <= clock[tid];
-    }
-  };
-
   struct VarState {
     Mutex mutex;  // racing accesses hit the same VarState concurrently
     Epoch write PM_GUARDED_BY(mutex);

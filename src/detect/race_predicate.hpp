@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "detect/race_report.hpp"
+#include "poset/epoch.hpp"
 #include "poset/global_state.hpp"
 #include "runtime/access.hpp"
 
@@ -87,8 +88,13 @@ void check_races(const PosetT& poset, const AccessTable& table, EventId owner,
     if (f.kind != OpKind::kCollection) continue;
     // Frontier events of different threads are usually concurrent, but the
     // maximal event of thread i may lie inside e's causal history (e.g. in
-    // G = Gmin(e)); the clock test rules those out.
-    if (f.vc.leq(e.vc)) continue;
+    // G = Gmin(e)). f is thread i's event number state[i], so the O(1) epoch
+    // test (poset/epoch.hpp) answers f ≼ e exactly — no full clock scan.
+    if (Epoch{i, state[i]}.happens_before(e.vc)) {
+      PM_DCHECK(f.vc.leq(e.vc));
+      continue;
+    }
+    PM_DCHECK(!f.vc.leq(e.vc));
     PM_DCHECK(!e.vc.leq(f.vc));  // f cannot be above e: e is in G's frontier
 
     const AccessSet& other_accesses = table.get(i, f.object);
@@ -116,7 +122,12 @@ void check_races_all_pairs(const PosetT& poset, const AccessTable& table,
       if (state[j] == 0) continue;
       const Event& ej = poset.event(j, state[j]);
       if (ej.kind != OpKind::kCollection) continue;
-      if (ei.vc.leq(ej.vc) || ej.vc.leq(ei.vc)) continue;  // ordered
+      // Epoch form of the ordering test (see check_races above): ei is
+      // thread i's event state[i], ej thread j's event state[j].
+      const bool ordered = Epoch{i, state[i]}.happens_before(ej.vc) ||
+                           Epoch{j, state[j]}.happens_before(ei.vc);
+      PM_DCHECK(ordered == (ei.vc.leq(ej.vc) || ej.vc.leq(ei.vc)));
+      if (ordered) continue;
       const AccessSet& ai = table.get(i, ei.object);
       const AccessSet& aj = table.get(j, ej.object);
       for (const Access& a : ai) {

@@ -58,8 +58,13 @@ class ClockValidator {
     if (tid >= published_.size()) return Verdict::kBadThread;
     PM_DCHECK(clock.size() == published_.size());
     if (clock[tid] != published_[tid] + 1) return Verdict::kWrongOwnComponent;
-    if (has_prev_[tid] && !prev_[tid].leq(clock)) return Verdict::kRegression;
+    // Checks 3 and 4 merged into one scan (they used to be two full passes):
+    // per component, monotone over the thread's previous clock and bounded
+    // by what other threads have published.
+    const bool check_prev = has_prev_[tid] != 0;
+    const VectorClock& prev = prev_[tid];
     for (ThreadId j = 0; j < published_.size(); ++j) {
+      if (check_prev && clock[j] < prev[j]) return Verdict::kRegression;
       if (j != tid && clock[j] > published_[j]) return Verdict::kUnpublished;
     }
     return Verdict::kOk;

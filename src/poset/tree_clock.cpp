@@ -1,0 +1,217 @@
+#include "poset/tree_clock.hpp"
+
+namespace paramount {
+
+// Pre-order pruned traversal of `other` (the paper's getUpdatedNodesJoin).
+// Visits exactly the nodes whose value the receiver is missing:
+//   * a node u with other.clk[u] <= clk[u] is pruned with its whole subtree
+//     (direct monotonicity: knowing u's component implies knowing everything
+//     thread u.tid had observed by then, which bounds u's subtree);
+//   * children are scanned most-recently-attached first, and the scan breaks
+//     at the first child attached at or before the receiver's previous
+//     knowledge of u.tid (everything behind it has been frozen since).
+// Values are updated (and stale links detached) during the visit; nodes are
+// re-attached afterwards in reverse visit order so each parent ends with its
+// refreshed children in front, still in decreasing attachment order.
+void TreeClock::join_visit(const TreeClock& other, ThreadId u) {
+  if (visit_budget_ == 0) return;  // dense: flatten_join takes over
+  --visit_budget_;
+  const Node& on = other.nodes_[u];
+  const EventIndex old_clk = clks_[u];
+  clks_[u] = other.clks_[u];
+  ++nodes_visited_;
+  if (u == root_) {
+    updated_.push_back(Updated{u, kNull, 0});  // roots update in place
+  } else {
+    detach(u);
+    if (u == other.root_) {
+      // Grafted under the receiver's root "now". aclk is resolved at attach
+      // time (join_from), because the visit below may still advance the
+      // root's own component and the graft must sit at the root's FINAL
+      // clock to stay ahead of children attached during the same join.
+      updated_.push_back(Updated{u, root_, 0});
+    } else {
+      updated_.push_back(Updated{u, on.parent, on.aclk});
+    }
+  }
+  for (ThreadId v = on.head_child; v != kNull; v = other.nodes_[v].next_sib) {
+    if (other.clks_[v] > clks_[v]) {
+      join_visit(other, v);
+    } else if (other.nodes_[v].aclk <= old_clk) {
+      break;
+    }
+  }
+}
+
+void TreeClock::join(const TreeClock& other) { join_from(other, false); }
+
+void TreeClock::join_from(const TreeClock& other, bool adopting) {
+  PM_DCHECK(clks_.size() == other.clks_.size());
+  updated_.clear();  // every exit leaves last_join_updated() accurate
+  dense_join_ = false;
+  if (other.root_ == kNull) return;  // other is still all-zero
+  const EventIndex oroot_clk = other.clks_[other.root_];
+  if (oroot_clk == 0) {
+    // A 0-clk root cannot have grafts.
+    PM_DCHECK(other.nodes_[other.root_].head_child == kNull);
+    return;
+  }
+  if (root_ == kNull) {
+    // First write to an auxiliary timeline: become a copy of `other`.
+    clks_ = other.clks_;
+    nodes_ = other.nodes_;
+    root_ = other.root_;
+    nodes_visited_ += 1;
+    dense_join_ = true;
+    return;
+  }
+  // Fast path: knowing other's root component implies knowing all of it.
+  if (clks_[other.root_] >= oroot_clk) return;
+
+  // Per-node link surgery pays off while the transfer is sparse; past this
+  // budget a vectorized max over the flat arrays is cheaper than chasing
+  // pointers, so the visit aborts and flatten_join finishes the job.
+  visit_budget_ = std::max<std::size_t>(8, clks_.size() / 8);
+  join_visit(other, other.root_);
+  if (visit_budget_ == 0) {
+    flatten_join(other, adopting);
+    return;
+  }
+
+  // Re-attach the nodes the visit refreshed (and detached), in reverse visit
+  // order: a parent's refreshed children were visited most-recent first, so
+  // the reverse pass pushes them to its head in increasing-then-capped
+  // order, leaving the child list in decreasing aclk. The receiver's root
+  // only changes value, never position.
+  for (std::size_t i = updated_.size(); i-- > 0;) {
+    Updated& up = updated_[i];
+    if (up.parent == kNull) continue;
+    // other's root is grafted at the receiver root's final clock (it is
+    // always the first visit, hence the last attach — the head slot).
+    if (up.tid == other.root_) up.aclk = clks_[root_];
+    attach_head(up.tid, up.parent, up.aclk);
+  }
+  PM_DCHECK(check_structure());
+}
+
+// Dense fallback: componentwise max over the contiguous value arrays, then
+// a sequential rebuild hanging every live node directly under the root,
+// attached "now". Flattening trades tree quality (later joins prune less
+// until structure regrows) for turning a scattered O(changed) link rewrite
+// into two sequential passes.
+//
+// Soundness of the rebuilt aclks hinges on whose thread actually observed
+// the merged values:
+//   * plain join — the receiver is a thread clock mid-sync, so its root's
+//     thread is acquiring every merged value right now, at its current clk;
+//   * adopting join — the receiver is an auxiliary timeline whose root is
+//     the PREVIOUS holder, whose thread never saw the source's values.
+//     Claiming it did would let later joins prune subtrees they still need.
+//     The source dominates the receiver (adopt's precondition), so the max
+//     equals the source's values and the rebuild roots at the source's
+//     root — the thread that genuinely holds the knowledge — completing
+//     adopt()'s re-root in the same pass.
+void TreeClock::flatten_join(const TreeClock& other, bool adopting) {
+  const std::size_t n = clks_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    clks_[i] = std::max(clks_[i], other.clks_[i]);
+  }
+  nodes_visited_ += n;
+  dense_join_ = true;
+  if (adopting) {
+    PM_DCHECK(clks_ == other.clks_);  // src ⊒ receiver, so max == src
+    root_ = other.root_;
+  }
+  // Every link is rebuilt, so wipe them all first — live nodes become
+  // leaves in the flat list, and a node keeping a stale head_child into its
+  // old subtree would leave dangling (even cyclic) sibling chains behind.
+  for (Node& nd : nodes_) nd = Node{};
+  const EventIndex aclk = clks_[root_];
+  Node& rn = nodes_[root_];
+  ThreadId prev = kNull;  // sibling list built in index order
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == root_ || clks_[i] == 0) continue;
+    const auto t = static_cast<ThreadId>(i);
+    Node& nd = nodes_[i];
+    nd.parent = root_;
+    nd.aclk = aclk;
+    nd.prev_sib = prev;
+    if (prev == kNull) {
+      rn.head_child = t;
+    } else {
+      nodes_[prev].next_sib = t;
+    }
+    prev = t;
+  }
+  PM_DCHECK(check_structure());
+}
+
+void TreeClock::adopt(const TreeClock& src) {
+  PM_DCHECK(src.root_ != kNull);
+#ifndef NDEBUG
+  // Algorithm 3 always adopts after the thread joined this timeline, so the
+  // source must dominate componentwise — the precondition that lets adopt()
+  // reuse join()'s pruning for the copy.
+  for (std::size_t t = 0; t < clks_.size(); ++t) {
+    PM_DCHECK(clks_[t] <= src.clks_[t]);
+  }
+#endif
+  join_from(src, true);
+  const ThreadId new_root = src.root_;
+  if (root_ == new_root) return;
+  PM_DCHECK(root_ != kNull);  // join() rooted an empty receiver above
+  // Re-root at the adopting thread: its node is hoisted out, and the old
+  // root (with its remaining subtree) hangs under it, attached "now" — after
+  // the join the whole tree is part of what the new root's thread currently
+  // knows, so the invariant holds with aclk = the new root's clk.
+  const ThreadId old_root = root_;
+  detach(new_root);
+  nodes_[new_root].aclk = 0;
+  attach_head(old_root, new_root, clks_[new_root]);
+  root_ = new_root;
+  PM_DCHECK(check_structure());
+}
+
+bool TreeClock::check_structure() const {
+  if (root_ == kNull) {
+    for (EventIndex c : clks_) {
+      if (c != 0) return false;
+    }
+    for (const Node& n : nodes_) {
+      if (n.parent != kNull || n.head_child != kNull) return false;
+    }
+    return true;
+  }
+  if (nodes_[root_].parent != kNull) return false;
+  // Walk the tree, checking link symmetry, child ordering, and that every
+  // nonzero component is reachable exactly once.
+  std::vector<char> seen(clks_.size(), 0);
+  std::vector<ThreadId> stack{root_};
+  std::size_t reached = 0;
+  while (!stack.empty()) {
+    const ThreadId u = stack.back();
+    stack.pop_back();
+    if (seen[u]) return false;  // a cycle or a shared child
+    seen[u] = 1;
+    ++reached;
+    EventIndex prev_aclk = clks_[u];
+    ThreadId prev = kNull;
+    for (ThreadId v = nodes_[u].head_child; v != kNull;
+         v = nodes_[v].next_sib) {
+      const Node& cn = nodes_[v];
+      if (cn.parent != u) return false;
+      if (cn.prev_sib != prev) return false;
+      if (cn.aclk > prev_aclk) return false;  // decreasing aclk, <= parent clk
+      prev_aclk = cn.aclk;
+      prev = v;
+      stack.push_back(v);
+    }
+  }
+  for (std::size_t t = 0; t < clks_.size(); ++t) {
+    if (clks_[t] > 0 && !seen[t]) return false;  // unreachable component
+  }
+  (void)reached;
+  return true;
+}
+
+}  // namespace paramount

@@ -1,0 +1,187 @@
+// Tree clock (Mathur, Pavlogiannis, Tunç, Viswanathan — PLDI 2022): a vector
+// clock whose components are organized as a rooted tree recording *how* the
+// owner learned each component. Joins and monotone copies then traverse only
+// the part of the other clock the owner has not seen yet, making the
+// amortized cost of Algorithm-3 clock maintenance sublinear in the number of
+// threads (the flat VectorClock pays O(#threads) per join no matter how
+// little changed).
+//
+// Representation. One node per thread, indexed by ThreadId:
+//   * clk[t]   — the component value (same meaning as VectorClock[t]);
+//   * aclk[t]  — "attachment clock": the value of the parent's component at
+//                the moment t was (re)attached under it;
+//   * parent/child/sibling links — children are kept in decreasing aclk
+//                order (most recently attached first).
+// A node is in the tree iff clk > 0 or it is the root. The tree invariant
+// that makes pruning sound ("direct monotonicity"): for every node u and
+// every descendant w of u, w's value is part of what thread u.tid had
+// observed by its local time clk[u]. Hence a clock that already knows
+// (u.tid, ≥ clk[u]) transitively knows u's entire subtree and the join can
+// skip it; and a child attached at aclk ≤ the receiver's knowledge of the
+// parent was frozen since then, so sibling iteration stops at the first such
+// child.
+//
+// Two usage roles mirror the paper:
+//   * thread clocks — root fixed to the owning thread, advanced with
+//     increment() and join();
+//   * auxiliary timelines (locks, channels, barriers) — adopt() implements
+//     Algorithm 3's "vcj ← vci" as a pruned join plus a re-root to the
+//     adopting thread, so the copy is as lazy as the join.
+//
+// TreeClock is a *producer-side* representation: enumeration, storage, and
+// the wire format stay on flat clocks (see clock_backend.hpp), and
+// write_to()/to_vector() materialize the flat view. Values are bit-identical
+// to the flat computation because join is still a componentwise max — only
+// the traversal order changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poset/vector_clock.hpp"
+#include "util/check.hpp"
+
+namespace paramount {
+
+class TreeClock {
+ public:
+  static constexpr ThreadId kNull = 0xffffffffu;
+
+  // A clock over `num_threads` components, initially all zero. `root` is the
+  // owning thread for thread clocks; pass kNull for auxiliary timelines
+  // (locks/channels), whose root is adopted from the first writer.
+  explicit TreeClock(std::size_t num_threads, ThreadId root = kNull)
+      : clks_(num_threads, 0), nodes_(num_threads), root_(root) {
+    PM_DCHECK(root == kNull || root < num_threads);
+  }
+
+  std::size_t num_threads() const { return clks_.size(); }
+  ThreadId root() const { return root_; }
+
+  EventIndex get(ThreadId t) const {
+    PM_DCHECK(t < clks_.size());
+    return clks_[t];
+  }
+
+  // Advances the root's own component (the thread's local tick).
+  void increment(EventIndex delta = 1) {
+    PM_DCHECK(root_ != kNull);
+    clks_[root_] += delta;
+  }
+
+  // this ← this ⊔ other (componentwise max), traversing only the part of
+  // `other` this clock has not observed. The root never moves; other's
+  // updated region is grafted under it.
+  void join(const TreeClock& other);
+
+  // Algorithm 3's partner adoption "vcj ← vci": join with the thread clock
+  // `src`, then re-root at src's owner so the next acquirer's join sees the
+  // most recent writer first. Precondition (guaranteed by Algorithm 3's call
+  // order): callers invoke it with src ⊒ this.
+  void adopt(const TreeClock& src);
+
+  // Materializes the flat view. write_to resizes *out as needed. The
+  // component values live in their own contiguous array (clks_), so this is
+  // a vectorizable copy, as cheap as assigning one flat clock to another.
+  void write_to(VectorClock* out) const {
+    VectorClock& vc = *out;
+    if (vc.size() != clks_.size()) vc = VectorClock(clks_.size());
+    for (std::size_t t = 0; t < clks_.size(); ++t) {
+      vc[t] = clks_[t];
+    }
+  }
+  VectorClock to_vector() const {
+    VectorClock vc(clks_.size());
+    write_to(&vc);
+    return vc;
+  }
+
+  // Nodes visited by joins/adopts since construction — the bench's measure
+  // of how much work pruning saved (a flat join always "visits" n).
+  std::uint64_t nodes_visited() const { return nodes_visited_; }
+
+  // One entry per node the most recent join() updated, in visit order. Lets
+  // callers that keep a materialized flat view refresh only the components
+  // that changed instead of re-reading all of them (TreeClockEngine does).
+  // Empty after a join that changed nothing; NOT meaningful after a dense
+  // join (last_join_was_dense()) or after the become-a-copy path of a
+  // kNull-rooted timeline's first join — refresh from write_to() there.
+  struct Updated {
+    ThreadId tid;
+    ThreadId parent;   // tid of the new parent (kNull for the receiver root)
+    EventIndex aclk;   // attachment clock under that parent
+  };
+  const std::vector<Updated>& last_join_updated() const { return updated_; }
+
+  // True when the most recent join() hit the dense fallback (or the
+  // become-a-copy path): the transfer touched a large fraction of the
+  // components, so it was done as one vectorized max plus a sequential
+  // rebuild of the tree instead of per-node link surgery.
+  bool last_join_was_dense() const { return dense_join_; }
+
+  // Debug validation of the structural invariants (tree-shaped links,
+  // children in decreasing aclk order, aclk ≤ parent clk). O(n).
+  bool check_structure() const;
+
+ private:
+  // Link/attachment state only — the component values are kept in the
+  // separate contiguous clks_ array so the dense parts of a join (reading
+  // the other clock's values, writing ours) stay on a few cache lines
+  // instead of striding through 24-byte nodes, and write_to vectorizes.
+  struct Node {
+    EventIndex aclk = 0;
+    ThreadId parent = kNull;
+    ThreadId head_child = kNull;
+    ThreadId next_sib = kNull;
+    ThreadId prev_sib = kNull;
+  };
+
+  bool in_tree(ThreadId t) const {
+    return clks_[t] > 0 || t == root_;
+  }
+
+  void detach(ThreadId t) {
+    Node& n = nodes_[t];
+    if (n.parent != kNull) {
+      if (nodes_[n.parent].head_child == t) {
+        nodes_[n.parent].head_child = n.next_sib;
+      }
+    }
+    if (n.prev_sib != kNull) nodes_[n.prev_sib].next_sib = n.next_sib;
+    if (n.next_sib != kNull) nodes_[n.next_sib].prev_sib = n.prev_sib;
+    n.parent = kNull;
+    n.next_sib = kNull;
+    n.prev_sib = kNull;
+  }
+
+  void attach_head(ThreadId child, ThreadId parent, EventIndex aclk) {
+    Node& c = nodes_[child];
+    PM_DCHECK(c.parent == kNull && c.prev_sib == kNull && c.next_sib == kNull);
+    c.parent = parent;
+    c.aclk = aclk;
+    c.next_sib = nodes_[parent].head_child;
+    if (c.next_sib != kNull) nodes_[c.next_sib].prev_sib = child;
+    nodes_[parent].head_child = child;
+  }
+
+  // `adopting` marks joins made on adopt()'s behalf, where the receiver is
+  // an auxiliary timeline and the source dominates it — the dense fallback
+  // must root the rebuilt tree at the source (see flatten_join).
+  void join_from(const TreeClock& other, bool adopting);
+  void join_visit(const TreeClock& other, ThreadId u);
+  void flatten_join(const TreeClock& other, bool adopting);
+
+  std::vector<EventIndex> clks_;  // component values, indexed by ThreadId
+  std::vector<Node> nodes_;       // tree links, parallel to clks_
+  ThreadId root_;
+  std::uint64_t nodes_visited_ = 0;
+  // Remaining pruned-visit allowance for the join in progress; when it hits
+  // zero the join abandons link surgery and falls back to flatten_join.
+  std::size_t visit_budget_ = 0;
+  bool dense_join_ = false;
+  // Scratch buffer reused across joins so steady-state joins allocate
+  // nothing (clocks live per-thread/per-timeline; no sharing).
+  std::vector<Updated> updated_;
+};
+
+}  // namespace paramount

@@ -39,30 +39,53 @@ class VectorClock {
   EventIndex operator[](std::size_t i) const { return components_[i]; }
   EventIndex& operator[](std::size_t i) { return components_[i]; }
 
-  // Componentwise maximum with `other` (the happened-before join).
+  // Componentwise maximum with `other` (the happened-before join). Clocks of
+  // different widths join under zero-extension: missing components are 0, so
+  // the result is widened to the larger of the two sizes. (A PM_DCHECK here
+  // used to be the only guard — in release builds a size mismatch read out
+  // of bounds; the width-extending semantics make every input well-defined.)
   void join(const VectorClock& other) {
-    PM_DCHECK(size() == other.size());
-    for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (other.components_.size() > components_.size()) {
+      components_.resize(other.components_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.components_.size(); ++i) {
       components_[i] = std::max(components_[i], other.components_[i]);
     }
   }
 
-  // True iff this ≤ other componentwise.
+  // True iff this ≤ other componentwise, under zero-extension of the shorter
+  // clock (see join() for why sizes may legitimately differ).
   bool leq(const VectorClock& other) const {
-    PM_DCHECK(size() == other.size());
-    for (std::size_t i = 0; i < components_.size(); ++i) {
+    const std::size_t common = std::min(size(), other.size());
+    for (std::size_t i = 0; i < common; ++i) {
       if (components_[i] > other.components_[i]) return false;
+    }
+    for (std::size_t i = common; i < size(); ++i) {
+      if (components_[i] > 0) return false;  // other's missing component is 0
     }
     return true;
   }
 
+  // Single-pass comparison under the componentwise partial order: one scan
+  // tracks both directions and exits early once the clocks are known to be
+  // concurrent (the old two-leq formulation always paid two full scans).
   static Order compare(const VectorClock& a, const VectorClock& b) {
-    const bool ab = a.leq(b);
-    const bool ba = b.leq(a);
-    if (ab && ba) return Order::kEqual;
-    if (ab) return Order::kLess;
-    if (ba) return Order::kGreater;
-    return Order::kConcurrent;
+    bool a_le_b = true;
+    bool b_le_a = true;
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const EventIndex av = i < a.size() ? a.components_[i] : 0;
+      const EventIndex bv = i < b.size() ? b.components_[i] : 0;
+      if (av < bv) {
+        if (!a_le_b) return Order::kConcurrent;
+        b_le_a = false;
+      } else if (bv < av) {
+        if (!b_le_a) return Order::kConcurrent;
+        a_le_b = false;
+      }
+    }
+    if (a_le_b && b_le_a) return Order::kEqual;
+    return a_le_b ? Order::kLess : Order::kGreater;
   }
 
   friend bool operator==(const VectorClock& a, const VectorClock& b) {
@@ -73,11 +96,14 @@ class VectorClock {
   }
 
   // Strict total order: lexicographic with thread 0 most significant. This is
-  // the order the lexical enumeration algorithm (§3.2) traverses.
+  // the order the lexical enumeration algorithm (§3.2) traverses. Shorter
+  // clocks are zero-extended, like leq()/compare().
   static bool lex_less(const VectorClock& a, const VectorClock& b) {
-    PM_DCHECK(a.size() == b.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      if (a[i] != b[i]) return a[i] < b[i];
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const EventIndex av = i < a.size() ? a.components_[i] : 0;
+      const EventIndex bv = i < b.size() ? b.components_[i] : 0;
+      if (av != bv) return av < bv;
     }
     return false;
   }

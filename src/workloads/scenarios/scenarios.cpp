@@ -13,14 +13,17 @@ namespace {
 using trace::TraceAccess;
 using trace::TraceEvent;
 
-// Shared plumbing: per-thread clocks, the event budget, and the two event
-// shapes every scenario is built from (local step, Algorithm-3 sync).
+// Shared plumbing: the clock engine, the event budget, and the three event
+// shapes every scenario is built from (local step, Algorithm-3 sync against
+// a timeline, fork/join absorb of another thread's clock). Timeline ids are
+// scenario-local (a lock, a barrier generation slot, a per-producer
+// channel); the engine creates them on first use.
 class ScenarioBase : public ScenarioStream {
  public:
   explicit ScenarioBase(const ScenarioParams& params)
       : params_(params),
         rng_(params.seed),
-        thread_clocks_(params.num_threads, VectorClock(params.num_threads)) {
+        engine_(ClockEngine::make(params.clock_backend, params.num_threads)) {
     PM_CHECK(params.num_threads > 0);
     PM_CHECK(params.num_threads <= trace::kMaxThreads);
   }
@@ -32,30 +35,40 @@ class ScenarioBase : public ScenarioStream {
 
   TraceEvent local_event(ThreadId tid, OpKind kind = OpKind::kInternal,
                          std::uint32_t object = 0) {
-    thread_clocks_[tid][tid] += 1;
     TraceEvent ev;
     ev.tid = tid;
     ev.kind = kind;
     ev.object = object;
-    ev.clock = thread_clocks_[tid];
+    engine_->local_step(tid, &ev.clock);
     ++emitted_;
     return ev;
   }
 
   TraceEvent sync_event(ThreadId tid, OpKind kind, std::uint32_t object,
-                        VectorClock& partner) {
+                        std::size_t timeline) {
     TraceEvent ev;
     ev.tid = tid;
     ev.kind = kind;
     ev.object = object;
-    ev.clock = calculate_vector_clock(tid, thread_clocks_[tid], partner);
+    engine_->sync_step(tid, timeline, &ev.clock);
+    ++emitted_;
+    return ev;
+  }
+
+  TraceEvent absorb_event(ThreadId dst, ThreadId src, OpKind kind,
+                          std::uint32_t object) {
+    TraceEvent ev;
+    ev.tid = dst;
+    ev.kind = kind;
+    ev.object = object;
+    engine_->absorb_step(dst, src, &ev.clock);
     ++emitted_;
     return ev;
   }
 
   ScenarioParams params_;
   Rng rng_;
-  std::vector<VectorClock> thread_clocks_;
+  std::unique_ptr<ClockEngine> engine_;
   std::uint64_t emitted_ = 0;
 };
 
@@ -63,20 +76,19 @@ class ScenarioBase : public ScenarioStream {
 // release, next thread. The trace is one long chain of critical sections.
 class LockConvoy final : public ScenarioBase {
  public:
-  explicit LockConvoy(const ScenarioParams& params)
-      : ScenarioBase(params), lock_clock_(params.num_threads) {}
+  explicit LockConvoy(const ScenarioParams& params) : ScenarioBase(params) {}
 
   bool next(TraceEvent* out) override {
     if (!budget_left()) return false;
     if (pos_ == 0) {
-      *out = sync_event(turn_, OpKind::kAcquire, 0, lock_clock_);
+      *out = sync_event(turn_, OpKind::kAcquire, 0, kLockTimeline);
       section_len_ = 1 + static_cast<int>(rng_.next_below(3));
       pos_ = 1;
     } else if (pos_ <= section_len_) {
       *out = local_event(turn_);
       ++pos_;
     } else {
-      *out = sync_event(turn_, OpKind::kRelease, 0, lock_clock_);
+      *out = sync_event(turn_, OpKind::kRelease, 0, kLockTimeline);
       pos_ = 0;
       turn_ = static_cast<ThreadId>((turn_ + 1) % params_.num_threads);
     }
@@ -84,7 +96,7 @@ class LockConvoy final : public ScenarioBase {
   }
 
  private:
-  VectorClock lock_clock_;
+  static constexpr std::size_t kLockTimeline = 0;
   ThreadId turn_ = 0;
   int pos_ = 0;
   int section_len_ = 0;
@@ -97,8 +109,7 @@ class LockConvoy final : public ScenarioBase {
 // happened-before closure.
 class BarrierPhase final : public ScenarioBase {
  public:
-  explicit BarrierPhase(const ScenarioParams& params)
-      : ScenarioBase(params), barrier_clock_(params.num_threads) {}
+  explicit BarrierPhase(const ScenarioParams& params) : ScenarioBase(params) {}
 
   bool next(TraceEvent* out) override {
     if (!budget_left()) return false;
@@ -106,10 +117,10 @@ class BarrierPhase final : public ScenarioBase {
       *out = local_event(tid_);
       advance_sweep(kComputeRounds);
     } else if (stage_ == 1) {
-      *out = sync_event(tid_, OpKind::kSend, generation_, barrier_clock_);
+      *out = sync_event(tid_, OpKind::kSend, generation_, kBarrierTimeline);
       advance_sweep(1);
     } else {
-      *out = sync_event(tid_, OpKind::kReceive, generation_, barrier_clock_);
+      *out = sync_event(tid_, OpKind::kReceive, generation_, kBarrierTimeline);
       if (advance_sweep(1)) ++generation_;
     }
     return true;
@@ -131,7 +142,7 @@ class BarrierPhase final : public ScenarioBase {
     return true;
   }
 
-  VectorClock barrier_clock_;
+  static constexpr std::size_t kBarrierTimeline = 0;
   ThreadId tid_ = 0;
   int stage_ = 0;
   int round_ = 0;
@@ -145,9 +156,7 @@ class BarrierPhase final : public ScenarioBase {
 // within a round's window.
 class FaninQueue final : public ScenarioBase {
  public:
-  explicit FaninQueue(const ScenarioParams& params)
-      : ScenarioBase(params),
-        channels_(params.num_threads, VectorClock(params.num_threads)) {}
+  explicit FaninQueue(const ScenarioParams& params) : ScenarioBase(params) {}
 
   bool next(TraceEvent* out) override {
     if (!budget_left()) return false;
@@ -161,10 +170,10 @@ class FaninQueue final : public ScenarioBase {
         --work_left_;
         return true;
       }
-      // kSend joins the producer's channel: the first round that is empty,
-      // later it holds the consumer's clock at the previous receive — the
-      // back-pressure edge of the full queue.
-      *out = sync_event(producer_, OpKind::kSend, 0, channels_[producer_]);
+      // kSend joins the producer's channel (timeline = producer tid): the
+      // first round that is empty, later it holds the consumer's clock at
+      // the previous receive — the back-pressure edge of the full queue.
+      *out = sync_event(producer_, OpKind::kSend, 0, producer_);
       pending_.push_back(producer_);
       advance_producer();
       return true;
@@ -173,7 +182,7 @@ class FaninQueue final : public ScenarioBase {
     // channel, acknowledging the slot back to its producer.
     const ThreadId from = pending_.front();
     pending_.pop_front();
-    *out = sync_event(0, OpKind::kReceive, from, channels_[from]);
+    *out = sync_event(0, OpKind::kReceive, from, from);
     if (pending_.empty()) advance_producer();
     return true;
   }
@@ -188,7 +197,6 @@ class FaninQueue final : public ScenarioBase {
 
   ThreadId producer_ = 1;
   int work_left_ = 1;
-  std::vector<VectorClock> channels_;  // per-producer send/ack timeline
   std::deque<ThreadId> pending_;
 };
 
@@ -212,15 +220,8 @@ class ForkJoinTree final : public ScenarioBase {
       if (cascade_ % 2 == 0) {
         *out = local_event(parent, OpKind::kFork, child);
       } else {
-        thread_clocks_[child][child] += 1;
-        thread_clocks_[child].join(thread_clocks_[parent]);
-        TraceEvent ev;
-        ev.tid = child;
-        ev.kind = OpKind::kInternal;
-        ev.object = 0;
-        ev.clock = thread_clocks_[child];
-        ++emitted_;
-        *out = ev;
+        // The child's first step absorbs the parent's clock (the fork edge).
+        *out = absorb_event(child, parent, OpKind::kInternal, 0);
       }
       if (++cascade_ == 2 * (n - 1)) {
         stage_ = 1;
@@ -241,15 +242,7 @@ class ForkJoinTree final : public ScenarioBase {
     // last event, deepest children first.
     const ThreadId child = static_cast<ThreadId>(n - 1 - cascade_);
     const ThreadId parent = (child - 1) / 2;
-    thread_clocks_[parent][parent] += 1;
-    thread_clocks_[parent].join(thread_clocks_[child]);
-    TraceEvent ev;
-    ev.tid = parent;
-    ev.kind = OpKind::kJoin;
-    ev.object = child;
-    ev.clock = thread_clocks_[parent];
-    ++emitted_;
-    *out = ev;
+    *out = absorb_event(parent, child, OpKind::kJoin, child);
     if (++cascade_ == n - 1) {  // tree collapsed; fork it again
       stage_ = 0;
       cascade_ = 0;
@@ -275,7 +268,6 @@ class HotVar final : public ScenarioBase {
  public:
   explicit HotVar(const ScenarioParams& params)
       : ScenarioBase(params),
-        lock_clocks_(2, VectorClock(params.num_threads)),
         collections_(params.num_threads, 0),
         written_(kNumVars, 0) {}
 
@@ -285,7 +277,7 @@ class HotVar final : public ScenarioBase {
     turn_ = static_cast<ThreadId>((turn_ + 1) % params_.num_threads);
     if (rng_.next_bool(0.35)) {
       const auto lock = static_cast<std::uint32_t>(rng_.next_below(2));
-      *out = sync_event(tid, OpKind::kAcquire, lock, lock_clocks_[lock]);
+      *out = sync_event(tid, OpKind::kAcquire, lock, lock);
       return true;
     }
     TraceEvent ev = local_event(tid, OpKind::kCollection, collections_[tid]++);
@@ -320,7 +312,6 @@ class HotVar final : public ScenarioBase {
     list.push_back(TraceAccess{var, is_write, is_init});
   }
 
-  std::vector<VectorClock> lock_clocks_;
   std::vector<std::uint32_t> collections_;
   std::vector<char> written_;
   ThreadId turn_ = 0;
@@ -335,8 +326,48 @@ const std::vector<std::string>& scenario_names() {
   return kNames;
 }
 
+namespace {
+
+constexpr std::size_t kWideWidths[] = {64, 128, 256};
+
+// "lock-convoy-256" → base "lock-convoy", width 256. Returns 0 for names
+// without a wide suffix.
+std::size_t split_wide_suffix(const std::string& name, std::string* base) {
+  for (std::size_t width : kWideWidths) {
+    const std::string suffix = "-" + std::to_string(width);
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      *base = name.substr(0, name.size() - suffix.size());
+      return width;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+const std::vector<std::string>& wide_scenario_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (std::size_t width : kWideWidths) {
+      for (const std::string& base : scenario_names()) {
+        names.push_back(base + "-" + std::to_string(width));
+      }
+    }
+    return names;
+  }();
+  return kNames;
+}
+
 std::unique_ptr<ScenarioStream> make_scenario(const std::string& name,
                                               const ScenarioParams& params) {
+  std::string base;
+  if (const std::size_t width = split_wide_suffix(name, &base)) {
+    ScenarioParams wide = params;
+    wide.num_threads = width;
+    return make_scenario(base, wide);
+  }
   if (name == "lock-convoy") return std::make_unique<LockConvoy>(params);
   if (name == "barrier-phase") return std::make_unique<BarrierPhase>(params);
   if (name == "fanin-queue") return std::make_unique<FaninQueue>(params);

@@ -1,15 +1,15 @@
-# Golden check for `paramount-trace info`: regenerates the fixed-seed
-# lock-convoy trace and diffs the info output against the committed golden.
-# Any drift in the on-disk layout (header size, chunk framing, encoding
-# width) shows up here as a byte count or chunk boundary change — bump the
-# format version and regenerate the golden deliberately, never silently.
+# Golden check for `paramount-trace info`: regenerates a fixed-seed corpus
+# trace and diffs the info output against the committed golden. Any drift in
+# the on-disk layout (header size, chunk framing, encoding width) shows up
+# here as a byte count or chunk boundary change — bump the format version
+# and regenerate the golden deliberately, never silently.
 #
 # Variables: TRACE_TOOL (paramount-trace binary), GOLDEN (committed file),
-# WORK_DIR (scratch).
-set(trace_file ${WORK_DIR}/golden_lock_convoy.pmt)
+# WORK_DIR (scratch), SCENARIO, THREADS, EVENTS (generation parameters).
+set(trace_file ${WORK_DIR}/golden_${SCENARIO}.pmt)
 execute_process(
-  COMMAND ${TRACE_TOOL} gen --scenario=lock-convoy --threads=6 --events=5000
-          --seed=42 --out=${trace_file}
+  COMMAND ${TRACE_TOOL} gen --scenario=${SCENARIO} --threads=${THREADS}
+          --events=${EVENTS} --seed=42 --out=${trace_file}
   RESULT_VARIABLE gen_result OUTPUT_QUIET)
 if(NOT gen_result EQUAL 0)
   message(FATAL_ERROR "paramount-trace gen failed (${gen_result})")

@@ -104,5 +104,73 @@ TEST(VectorClock, Algorithm3ChainsHandOffs) {
   EXPECT_EQ(after_t1, (VectorClock{1, 1}));  // t1 saw t0's event
 }
 
+// Regression: join/leq on size-mismatched clocks used to read out of bounds
+// in release builds (the only guard was a PM_DCHECK, which compiles out).
+// These tests exercise the mismatch path unconditionally — under
+// ASan/release CI they would have caught the overread; now they pin the
+// width-extending semantics.
+TEST(VectorClock, JoinWidensToLargerClock) {
+  VectorClock narrow{5, 1};
+  narrow.join({1, 2, 7, 4});
+  EXPECT_EQ(narrow, (VectorClock{5, 2, 7, 4}));
+
+  VectorClock wide{1, 2, 7, 4};
+  wide.join({5, 1});  // shorter argument: zero-extended, width kept
+  EXPECT_EQ(wide, (VectorClock{5, 2, 7, 4}));
+}
+
+TEST(VectorClock, LeqZeroExtendsTheShorterClock) {
+  const VectorClock narrow{1, 2};
+  const VectorClock wide{1, 2, 0, 0};
+  EXPECT_TRUE(narrow.leq(wide));
+  EXPECT_TRUE(wide.leq(narrow));  // trailing zeros are "missing" components
+  EXPECT_FALSE((VectorClock{1, 2, 3}).leq(narrow));
+  EXPECT_TRUE(narrow.leq(VectorClock{1, 2, 3}));
+}
+
+TEST(VectorClock, CompareAndLexLessZeroExtend) {
+  const VectorClock narrow{1, 2};
+  EXPECT_EQ(VectorClock::compare(narrow, {1, 2, 0}),
+            VectorClock::Order::kEqual);
+  EXPECT_EQ(VectorClock::compare(narrow, {1, 2, 4}),
+            VectorClock::Order::kLess);
+  EXPECT_EQ(VectorClock::compare({1, 2, 4}, narrow),
+            VectorClock::Order::kGreater);
+  EXPECT_EQ(VectorClock::compare({0, 3}, {1, 0, 2}),
+            VectorClock::Order::kConcurrent);
+  EXPECT_FALSE(VectorClock::lex_less(narrow, {1, 2, 0}));
+  EXPECT_TRUE(VectorClock::lex_less(narrow, {1, 2, 1}));
+  EXPECT_TRUE(VectorClock::lex_less({1, 1, 9}, {1, 2}));
+}
+
+// The satellite bugfix replaced compare()'s two full leq scans with a single
+// early-exiting pass; this pins the equivalence on randomized clocks.
+TEST(VectorClock, SinglePassCompareMatchesTwoLeqScans) {
+  std::uint64_t rng = 0x2545f4914f6cdd1dULL;
+  const auto next = [&rng](std::uint32_t bound) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return static_cast<EventIndex>(rng % bound);
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t na = 1 + next(6);
+    const std::size_t nb = 1 + next(6);
+    VectorClock a(na), b(nb);
+    // Small component range so equal/ordered pairs occur often.
+    for (std::size_t i = 0; i < na; ++i) a[i] = next(3);
+    for (std::size_t i = 0; i < nb; ++i) b[i] = next(3);
+    const bool ab = a.leq(b);
+    const bool ba = b.leq(a);
+    const VectorClock::Order expected =
+        ab && ba ? VectorClock::Order::kEqual
+        : ab     ? VectorClock::Order::kLess
+        : ba     ? VectorClock::Order::kGreater
+                 : VectorClock::Order::kConcurrent;
+    EXPECT_EQ(VectorClock::compare(a, b), expected)
+        << a.to_string() << " vs " << b.to_string();
+  }
+}
+
 }  // namespace
 }  // namespace paramount

@@ -80,7 +80,9 @@ bool write_scenario(const std::string& name, const ScenarioParams& params,
   }
   trace::TraceWriter writer;
   trace::TraceError error;
-  if (!writer.open(path, params.num_threads, options, &error)) {
+  // Wide variants ("fanin-queue-256") override the width inside
+  // make_scenario, so size the header from the scenario, not the params.
+  if (!writer.open(path, scenario->num_threads(), options, &error)) {
     std::fprintf(stderr, "error: %s\n", error.to_string().c_str());
     return false;
   }
@@ -102,10 +104,15 @@ bool write_scenario(const std::string& name, const ScenarioParams& params,
 int run_gen(int argc, char** argv) {
   CliFlags flags("paramount-trace gen — materialize a scenario to a .pmt.");
   flags.add_string("scenario", "lock-convoy",
-                   "scenario name, or 'all' for the whole corpus");
+                   "scenario name (wide variants like lock-convoy-256 "
+                   "accepted), 'all' for the base corpus, or 'all-wide' for "
+                   "the 64/128/256-thread variants");
   flags.add_int("threads", 8, "scenario threads");
   flags.add_int("events", 20000, "events to generate");
   flags.add_int("seed", 42, "scenario seed");
+  flags.add_string("clock-backend", "flat",
+                   "clock representation rolling the stream (flat | tree | "
+                   "epoch); the .pmt bytes are identical across backends");
   flags.add_string("out", "", "output .pmt path (single scenario)");
   flags.add_string("out-dir", "",
                    "output directory (required for --scenario=all; files "
@@ -120,18 +127,28 @@ int run_gen(int argc, char** argv) {
       flags.get_int_in_range("events", 1, std::int64_t{1} << 40));
   params.seed = static_cast<std::uint64_t>(flags.get_int_in_range(
       "seed", 0, std::numeric_limits<std::int64_t>::max()));
+  const std::string backend_name = flags.get_string("clock-backend");
+  if (!parse_clock_backend(backend_name, &params.clock_backend)) {
+    std::fprintf(stderr,
+                 "error: unknown --clock-backend '%s' (flat | tree | epoch)\n",
+                 backend_name.c_str());
+    return 2;
+  }
   trace::TraceWriter::Options options;
   options.events_per_chunk = static_cast<std::uint32_t>(
       flags.get_int_in_range("events-per-chunk", 1, 1 << 22));
 
   const std::string scenario = flags.get_string("scenario");
-  if (scenario == "all") {
+  if (scenario == "all" || scenario == "all-wide") {
     const std::string dir = flags.get_string("out-dir");
     if (dir.empty()) {
-      std::fprintf(stderr, "error: --scenario=all requires --out-dir\n");
+      std::fprintf(stderr, "error: --scenario=%s requires --out-dir\n",
+                   scenario.c_str());
       return 2;
     }
-    for (const std::string& name : scenario_names()) {
+    const std::vector<std::string>& names =
+        scenario == "all" ? scenario_names() : wide_scenario_names();
+    for (const std::string& name : names) {
       if (!write_scenario(name, params, options, dir + "/" + name + ".pmt")) {
         return 1;
       }
