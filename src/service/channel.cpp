@@ -2,6 +2,10 @@
 
 #include "service/frame.hpp"
 
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -26,6 +30,20 @@ std::string errno_string(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
 }  // namespace
 
 void UniqueFd::reset() {
@@ -38,29 +56,63 @@ bool valid_socket_path(const std::string& path) {
   return make_addr(path, &addr);
 }
 
-UniqueFd listen_unix(const std::string& path, int backlog,
-                     std::string* error) {
+const char* to_string(ListenUnixError error) {
+  switch (error) {
+    case ListenUnixError::kNone: return "none";
+    case ListenUnixError::kBadPath: return "bad-path";
+    case ListenUnixError::kSocket: return "socket";
+    case ListenUnixError::kLiveListener: return "live-listener";
+    case ListenUnixError::kBind: return "bind";
+    case ListenUnixError::kListen: return "listen";
+  }
+  return "?";
+}
+
+UniqueFd listen_unix(const std::string& path, int backlog, std::string* error,
+                     ListenUnixError* why) {
+  const auto fail = [&](ListenUnixError code, std::string message) {
+    if (why != nullptr) *why = code;
+    *error = std::move(message);
+    return UniqueFd();
+  };
+  if (why != nullptr) *why = ListenUnixError::kNone;
   sockaddr_un addr;
   if (!make_addr(path, &addr)) {
-    *error = "socket path empty or longer than sun_path: " + path;
-    return UniqueFd();
+    return fail(ListenUnixError::kBadPath,
+                "socket path empty or longer than sun_path: " + path);
+  }
+  // A file may already sit at `path`: either a stale socket a crashed daemon
+  // left behind (bind would fail EADDRINUSE even though nobody listens) or a
+  // *live* daemon's socket. Unlinking unconditionally would silently steal
+  // the live daemon's socket, so probe with connect() first: an answer means
+  // live — refuse with a typed error; no answer means stale — unlink and
+  // rebind.
+  {
+    UniqueFd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!probe.valid()) {
+      return fail(ListenUnixError::kSocket, errno_string("socket"));
+    }
+    if (::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fail(ListenUnixError::kLiveListener,
+                  "a live daemon is listening on " + path +
+                      " (refusing to steal its socket)");
+    }
+    if (errno != ENOENT) {
+      // Exists but nobody answered (ECONNREFUSED and friends): stale file.
+      ::unlink(path.c_str());
+    }
   }
   UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!fd.valid()) {
-    *error = errno_string("socket");
-    return UniqueFd();
+    return fail(ListenUnixError::kSocket, errno_string("socket"));
   }
-  // A previous daemon instance may have left its socket file behind; bind
-  // would fail with EADDRINUSE even though nobody is listening.
-  ::unlink(path.c_str());
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    *error = errno_string("bind");
-    return UniqueFd();
+    return fail(ListenUnixError::kBind, errno_string("bind"));
   }
   if (::listen(fd.get(), backlog) != 0) {
-    *error = errno_string("listen");
-    return UniqueFd();
+    return fail(ListenUnixError::kListen, errno_string("listen"));
   }
   return fd;
 }
@@ -84,83 +136,308 @@ UniqueFd connect_unix(const std::string& path, std::string* error) {
   return fd;
 }
 
+bool parse_endpoint(const std::string& spec, Endpoint* endpoint,
+                    std::string* error) {
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      *error = "tcp endpoint must be tcp:HOST:PORT, got '" + spec + "'";
+      return false;
+    }
+    const std::string port_text = rest.substr(colon + 1);
+    if (port_text.empty() ||
+        port_text.find_first_not_of("0123456789") != std::string::npos) {
+      *error = "tcp endpoint port must be numeric, got '" + port_text + "'";
+      return false;
+    }
+    unsigned long port = 0;
+    try {
+      port = std::stoul(port_text);
+    } catch (...) {
+      port = 65536;
+    }
+    if (port > 65535) {
+      *error = "tcp endpoint port out of range: " + port_text;
+      return false;
+    }
+    endpoint->kind = Endpoint::Kind::kTcp;
+    endpoint->host = rest.substr(0, colon);
+    endpoint->port = static_cast<std::uint16_t>(port);
+    endpoint->path.clear();
+    return true;
+  }
+  std::string path = spec;
+  if (spec.rfind("unix:", 0) == 0) path = spec.substr(5);
+  if (!valid_socket_path(path)) {
+    *error = "socket path empty or longer than sun_path: " + path;
+    return false;
+  }
+  endpoint->kind = Endpoint::Kind::kUnix;
+  endpoint->path = std::move(path);
+  endpoint->host.clear();
+  endpoint->port = 0;
+  return true;
+}
+
+namespace {
+
+// getaddrinfo wrapper shared by listen_tcp/connect_tcp; returns the first
+// address that the operation (bind or connect) succeeds on.
+UniqueFd tcp_socket_for(const std::string& host, std::uint16_t port,
+                        bool for_listen, std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (for_listen) hints.ai_flags = AI_PASSIVE;
+  const char* node =
+      (host.empty() || host == "*") ? nullptr : host.c_str();
+  const std::string port_text = std::to_string(port);
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(node, port_text.c_str(), &hints, &result);
+  if (rc != 0) {
+    *error = std::string("getaddrinfo: ") + ::gai_strerror(rc);
+    return UniqueFd();
+  }
+  UniqueFd fd;
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd candidate(
+        ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      last_error = errno_string("socket");
+      continue;
+    }
+    if (for_listen) {
+      const int one = 1;
+      ::setsockopt(candidate.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one));
+      if (::bind(candidate.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+        last_error = errno_string("bind");
+        continue;
+      }
+    } else {
+      if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+        last_error = errno_string("connect");
+        continue;
+      }
+    }
+    fd = std::move(candidate);
+    break;
+  }
+  ::freeaddrinfo(result);
+  if (!fd.valid()) *error = last_error;
+  return fd;
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+UniqueFd listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+                    std::string* error) {
+  UniqueFd fd = tcp_socket_for(host, port, /*for_listen=*/true, error);
+  if (!fd.valid()) return fd;
+  if (::listen(fd.get(), backlog) != 0) {
+    *error = errno_string("listen");
+    return UniqueFd();
+  }
+  return fd;
+}
+
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port,
+                     std::string* error) {
+  const std::string node = host.empty() ? "127.0.0.1" : host;
+  UniqueFd fd = tcp_socket_for(node, port, /*for_listen=*/false, error);
+  if (fd.valid()) set_tcp_nodelay(fd.get());
+  return fd;
+}
+
+std::uint16_t local_tcp_port(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return 0;
+}
+
+UniqueFd listen_endpoint(const Endpoint& endpoint, int backlog,
+                         std::string* error, ListenUnixError* why) {
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    if (why != nullptr) *why = ListenUnixError::kNone;
+    return listen_tcp(endpoint.host, endpoint.port, backlog, error);
+  }
+  return listen_unix(endpoint.path, backlog, error, why);
+}
+
+UniqueFd connect_endpoint(const Endpoint& endpoint, std::string* error) {
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    return connect_tcp(endpoint.host, endpoint.port, error);
+  }
+  return connect_unix(endpoint.path, error);
+}
+
 const char* to_string(ReadStatus status) {
   switch (status) {
     case ReadStatus::kFrame: return "frame";
     case ReadStatus::kEof: return "eof";
     case ReadStatus::kTruncated: return "truncated";
     case ReadStatus::kOversized: return "oversized";
+    case ReadStatus::kWouldBlock: return "would-block";
     case ReadStatus::kError: return "error";
   }
   return "?";
 }
 
-FrameChannel::ReadExact FrameChannel::read_exact(std::uint8_t* buf,
-                                                 std::size_t len) {
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd_.get(), buf + got, len - got, 0);
+ReadStatus FrameChannel::read_frame(std::vector<std::uint8_t>* payload,
+                                    std::uint32_t* stream_id) {
+  // Resumable two-phase read: header (8 bytes), then payload. Progress is
+  // kept in members so a kWouldBlock return on a non-blocking fd loses
+  // nothing — the next call continues exactly where the kernel stopped,
+  // whatever the split point.
+  if (!in_body_) {
+    while (header_got_ < sizeof(header_)) {
+      const ssize_t n = ::recv(fd_.get(), header_ + header_got_,
+                               sizeof(header_) - header_got_, 0);
+      if (n > 0) {
+        header_got_ += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        return header_got_ == 0 ? ReadStatus::kEof : ReadStatus::kTruncated;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadStatus::kWouldBlock;
+      }
+      return ReadStatus::kError;
+    }
+    const std::uint32_t len = load_le32(header_);
+    read_stream_ = load_le32(header_ + 4);
+    // Reject before allocating: a hostile prefix must not size a buffer.
+    if (len > kMaxFramePayload) return ReadStatus::kOversized;
+    body_.clear();
+    body_.resize(len);
+    body_got_ = 0;
+    in_body_ = true;
+  }
+  while (body_got_ < body_.size()) {
+    const ssize_t n = ::recv(fd_.get(), body_.data() + body_got_,
+                             body_.size() - body_got_, 0);
     if (n > 0) {
-      got += static_cast<std::size_t>(n);
+      body_got_ += static_cast<std::size_t>(n);
       continue;
     }
-    if (n == 0) return got == 0 ? ReadExact::kCleanEof : ReadExact::kMidEof;
+    // EOF anywhere inside the payload means the frame was cut short.
+    if (n == 0) return ReadStatus::kTruncated;
     if (errno == EINTR) continue;
-    return ReadExact::kErr;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kWouldBlock;
+    return ReadStatus::kError;
   }
-  return ReadExact::kOk;
-}
-
-ReadStatus FrameChannel::read_frame(std::vector<std::uint8_t>* payload) {
-  std::uint8_t prefix[4];
-  switch (read_exact(prefix, sizeof(prefix))) {
-    case ReadExact::kOk: break;
-    case ReadExact::kCleanEof: return ReadStatus::kEof;
-    case ReadExact::kMidEof: return ReadStatus::kTruncated;
-    case ReadExact::kErr: return ReadStatus::kError;
-  }
-  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
-                            (static_cast<std::uint32_t>(prefix[1]) << 8) |
-                            (static_cast<std::uint32_t>(prefix[2]) << 16) |
-                            (static_cast<std::uint32_t>(prefix[3]) << 24);
-  // Reject before allocating: a hostile prefix must not size a buffer.
-  if (len > kMaxFramePayload) return ReadStatus::kOversized;
-  payload->resize(len);
-  if (len > 0) {
-    switch (read_exact(payload->data(), len)) {
-      case ReadExact::kOk: break;
-      // EOF anywhere inside the payload means the frame was cut short.
-      case ReadExact::kCleanEof:
-      case ReadExact::kMidEof: return ReadStatus::kTruncated;
-      case ReadExact::kErr: return ReadStatus::kError;
-    }
-  }
+  *payload = std::move(body_);
+  body_.clear();
+  body_got_ = 0;
+  in_body_ = false;
+  header_got_ = 0;
+  if (stream_id != nullptr) *stream_id = read_stream_;
   return ReadStatus::kFrame;
 }
 
-bool FrameChannel::write_frame(std::span<const std::uint8_t> payload) {
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  std::uint8_t prefix[4] = {
-      static_cast<std::uint8_t>(len),
-      static_cast<std::uint8_t>(len >> 8),
-      static_cast<std::uint8_t>(len >> 16),
-      static_cast<std::uint8_t>(len >> 24),
-  };
-  const auto send_all = [this](const std::uint8_t* buf, std::size_t n) {
-    std::size_t sent = 0;
-    while (sent < n) {
-      const ssize_t w = ::send(fd_.get(), buf + sent, n - sent, MSG_NOSIGNAL);
-      if (w >= 0) {
-        sent += static_cast<std::size_t>(w);
-        continue;
+bool FrameChannel::write_frame(std::span<const std::uint8_t> payload,
+                               std::uint32_t stream_id) {
+  std::uint8_t header[8];
+  store_le32(header, static_cast<std::uint32_t>(payload.size()));
+  store_le32(header + 4, stream_id);
+  if (has_pending_write()) {
+    // Keep ordering: earlier queued bytes must hit the wire first, so the
+    // new frame joins the backlog and we opportunistically flush.
+    out_.insert(out_.end(), header, header + sizeof(header));
+    out_.insert(out_.end(), payload.begin(), payload.end());
+    return flush() != FlushStatus::kError;
+  }
+  // Fast path: header + payload coalesced into one sendmsg — a single
+  // syscall and (with TCP_NODELAY) a single packet, instead of the old
+  // prefix-then-payload pair of sends.
+  const std::size_t total = sizeof(header) + payload.size();
+  std::size_t sent = 0;
+  while (sent < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (sent < sizeof(header)) {
+      iov[iovcnt].iov_base = header + sent;
+      iov[iovcnt].iov_len = sizeof(header) - sent;
+      ++iovcnt;
+      if (!payload.empty()) {
+        iov[iovcnt].iov_base = const_cast<std::uint8_t*>(payload.data());
+        iov[iovcnt].iov_len = payload.size();
+        ++iovcnt;
       }
-      if (errno == EINTR) continue;
-      return false;
+    } else {
+      iov[iovcnt].iov_base =
+          const_cast<std::uint8_t*>(payload.data()) + (sent - sizeof(header));
+      iov[iovcnt].iov_len = total - sent;
+      ++iovcnt;
     }
-    return true;
-  };
-  return send_all(prefix, sizeof(prefix)) &&
-         (payload.empty() || send_all(payload.data(), payload.size()));
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t w = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    if (w >= 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Non-blocking fd pushed back: buffer the unsent tail; the caller
+      // flush()es when the fd turns writable.
+      if (sent < sizeof(header)) {
+        out_.insert(out_.end(), header + sent, header + sizeof(header));
+        out_.insert(out_.end(), payload.begin(), payload.end());
+      } else {
+        out_.insert(out_.end(),
+                    payload.begin() +
+                        static_cast<std::ptrdiff_t>(sent - sizeof(header)),
+                    payload.end());
+      }
+      return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+FrameChannel::FlushStatus FrameChannel::flush() {
+  while (out_pos_ < out_.size()) {
+    const ssize_t w = ::send(fd_.get(), out_.data() + out_pos_,
+                             out_.size() - out_pos_, MSG_NOSIGNAL);
+    if (w >= 0) {
+      out_pos_ += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushStatus::kPending;
+    return FlushStatus::kError;
+  }
+  out_.clear();
+  out_pos_ = 0;
+  return FlushStatus::kDrained;
+}
+
+bool FrameChannel::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0) return false;
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd_.get(), F_SETFL, wanted) == 0;
 }
 
 void FrameChannel::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }

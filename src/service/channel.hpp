@@ -1,11 +1,17 @@
-// Unix-domain socket plumbing for paramountd: RAII fds, listen/connect
-// helpers, and the length-prefixed frame channel.
+// Socket plumbing for paramountd: RAII fds, Unix-domain and TCP
+// listen/connect helpers, endpoint parsing, and the length-prefixed,
+// stream-multiplexed frame channel.
 //
 // This directory is the only place in the tree allowed to touch raw socket
 // send/recv (tools/lint/paramount_lint.py rule `raw-socket`); everything
 // above it — sessions, server, tools, tests — speaks frames through
-// FrameChannel, so the partial-read/EINTR/SIGPIPE handling lives in exactly
-// one spot.
+// FrameChannel, so the partial-read/partial-write/EINTR/SIGPIPE handling
+// lives in exactly one spot.
+//
+// Wire framing (protocol v2): every frame is an 8-byte little-endian header
+// — u32 payload length, u32 stream id — followed by the payload. Stream ids
+// let many logical enumeration sessions share one connection (the epoll
+// front end demultiplexes on them); single-session users leave the id 0.
 #pragma once
 
 #include <cstdint>
@@ -43,40 +49,120 @@ class UniqueFd {
 };
 
 // True iff `path` fits a sockaddr_un (the ~108-byte sun_path limit) and is
-// non-empty; the daemons validate --listen with this before binding.
+// non-empty; the daemons validate Unix --listen specs with this before
+// binding.
 bool valid_socket_path(const std::string& path);
 
-// Binds + listens on a Unix-domain stream socket, unlinking any stale file
-// at `path` first. Returns an invalid fd with *error set on failure.
-UniqueFd listen_unix(const std::string& path, int backlog, std::string* error);
+// Why listen_unix failed; kLiveListener is the typed "socket stealing"
+// refusal — a daemon is answering on that path, so a second instance must
+// not unlink it.
+enum class ListenUnixError {
+  kNone,
+  kBadPath,       // empty or longer than sun_path
+  kSocket,        // socket() failed
+  kLiveListener,  // something connect()ed — a live daemon owns the path
+  kBind,
+  kListen,
+};
+
+const char* to_string(ListenUnixError error);
+
+// Binds + listens on a Unix-domain stream socket. A pre-existing file at
+// `path` is probed with connect() first: if anything answers the path
+// belongs to a live daemon and this fails with kLiveListener (no unlink —
+// a second daemon must never steal a live daemon's socket); a stale file
+// nobody answers on is unlinked and rebound. Returns an invalid fd with
+// *error set on failure; *why (optional) carries the typed reason.
+UniqueFd listen_unix(const std::string& path, int backlog, std::string* error,
+                     ListenUnixError* why = nullptr);
 
 // Connects to a listening Unix-domain socket.
 UniqueFd connect_unix(const std::string& path, std::string* error);
 
+// ---- endpoints: "tcp:HOST:PORT" or a Unix-socket path ----
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;           // kUnix
+  std::string host;           // kTcp
+  std::uint16_t port = 0;     // kTcp (0 = ephemeral, for tests/bench)
+};
+
+// Parses "tcp:HOST:PORT" (host may be empty for wildcard) or "unix:PATH";
+// anything without a scheme prefix is a Unix path. Returns false with
+// *error on a malformed spec (bad port, empty path).
+bool parse_endpoint(const std::string& spec, Endpoint* endpoint,
+                    std::string* error);
+
+// Listens on a TCP socket (SO_REUSEADDR; host "" or "*" binds the
+// wildcard address). Returns an invalid fd with *error set on failure.
+UniqueFd listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+                    std::string* error);
+
+// Connects to host:port over TCP and sets TCP_NODELAY (frames are already
+// coalesced into single writes; Nagle would only add latency).
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port,
+                     std::string* error);
+
+// The port a TCP listener actually bound (resolves port 0), or 0 on error.
+std::uint16_t local_tcp_port(int fd);
+
+// Dispatch on Endpoint::kind.
+UniqueFd listen_endpoint(const Endpoint& endpoint, int backlog,
+                         std::string* error, ListenUnixError* why = nullptr);
+UniqueFd connect_endpoint(const Endpoint& endpoint, std::string* error);
+
 enum class ReadStatus {
-  kFrame,      // *payload holds one complete frame payload
-  kEof,        // orderly close at a frame boundary
-  kTruncated,  // stream died mid-frame (length prefix or payload)
-  kOversized,  // length prefix above kMaxFramePayload
-  kError,      // transport error (errno-level)
+  kFrame,       // *payload holds one complete frame payload
+  kEof,         // orderly close at a frame boundary
+  kTruncated,   // stream died mid-frame (header or payload)
+  kOversized,   // length prefix above kMaxFramePayload
+  kWouldBlock,  // non-blocking fd: frame incomplete, call again on readable
+  kError,       // transport error (errno-level)
 };
 
 const char* to_string(ReadStatus status);
 
-// Blocking frame transport over a connected socket.
+// Frame transport over a connected socket.
+//
+// On a blocking fd every call runs to completion exactly as before. On a
+// non-blocking fd (set_nonblocking) the channel keeps partial progress
+// between calls: read_frame returns kWouldBlock mid-frame and resumes where
+// it left off, and write_frame queues whatever the kernel would not take —
+// flush() retries the backlog when the fd signals writable.
 class FrameChannel {
  public:
   explicit FrameChannel(UniqueFd fd) : fd_(std::move(fd)) {}
 
-  // Reads one length-prefixed frame. An oversized prefix poisons the stream
-  // (the payload is unread, so framing is lost); callers must close after
-  // kOversized/kTruncated/kError.
-  ReadStatus read_frame(std::vector<std::uint8_t>* payload);
+  // Reads one frame. An oversized header poisons the stream (the payload is
+  // unread, so framing is lost); callers must close after
+  // kOversized/kTruncated/kError. kWouldBlock (non-blocking fds only) keeps
+  // the partial frame buffered; call again when the fd is readable.
+  // *stream_id (optional) receives the frame's stream id.
+  ReadStatus read_frame(std::vector<std::uint8_t>* payload,
+                        std::uint32_t* stream_id = nullptr);
 
-  // Writes the 4-byte length prefix plus the payload, retrying partial
-  // writes. Returns false on any transport error (including EPIPE — sends
-  // use MSG_NOSIGNAL, so a half-closed peer can never SIGPIPE the server).
-  bool write_frame(std::span<const std::uint8_t> payload);
+  // Writes the 8-byte header plus the payload as a single coalesced
+  // sendmsg (one packet on TCP, not header-then-payload). Partial writes
+  // are retried; on a non-blocking fd the unsent tail is buffered (call
+  // flush() when writable) and the call still returns true. Returns false
+  // only on a transport error (including EPIPE — sends use MSG_NOSIGNAL,
+  // so a half-closed peer can never SIGPIPE the server).
+  bool write_frame(std::span<const std::uint8_t> payload,
+                   std::uint32_t stream_id = 0);
+
+  enum class FlushStatus { kDrained, kPending, kError };
+
+  // Retries the buffered write backlog. kPending means the kernel is still
+  // pushing back (re-arm for writability); kDrained means nothing is queued.
+  FlushStatus flush();
+
+  bool has_pending_write() const { return out_pos_ < out_.size(); }
+  std::size_t pending_write_bytes() const { return out_.size() - out_pos_; }
+
+  // Switches the fd's O_NONBLOCK flag. Returns false on fcntl failure.
+  bool set_nonblocking(bool enabled);
 
   // Half-closes the write side (client side of the half-close tests).
   void shutdown_write();
@@ -84,8 +170,17 @@ class FrameChannel {
   int fd() const { return fd_.get(); }
 
  private:
-  enum class ReadExact { kOk, kCleanEof, kMidEof, kErr };
-  ReadExact read_exact(std::uint8_t* buf, std::size_t len);
+  // Incremental read progress, preserved across kWouldBlock returns.
+  std::uint8_t header_[8] = {};
+  std::size_t header_got_ = 0;
+  std::vector<std::uint8_t> body_;
+  std::size_t body_got_ = 0;
+  bool in_body_ = false;
+  std::uint32_t read_stream_ = 0;
+
+  // Write backlog (bytes the kernel refused on a non-blocking fd).
+  std::vector<std::uint8_t> out_;
+  std::size_t out_pos_ = 0;
 
   UniqueFd fd_;
 };

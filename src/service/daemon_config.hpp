@@ -6,23 +6,33 @@
 #include <cstdint>
 #include <string>
 
+#include "service/channel.hpp"
 #include "util/cli.hpp"
 
 namespace paramount::service {
 
-struct DaemonConfig {
-  std::string socket_path;
-  std::uint32_t max_sessions = 8;
-  std::size_t submit_budget_bytes = 0;  // 0 = unbounded
+enum class FrontEnd {
+  kEpoll,    // multiplexed event loop (default)
+  kThreads,  // one OS thread per connection (the original front end)
 };
 
-// Registers --listen / --max-sessions / --submit-budget on `flags`.
+struct DaemonConfig {
+  Endpoint endpoint;               // parsed --listen (unix path or tcp:)
+  FrontEnd front_end = FrontEnd::kEpoll;
+  std::uint32_t max_sessions = 8;
+  std::size_t submit_budget_bytes = 0;  // 0 = unbounded
+  std::size_t tenant_budget_bytes = 0;  // 0 = per-session gates
+  std::uint64_t eviction_alert_threshold = 0;  // 0 = alerting off
+};
+
+// Registers --listen / --front-end / --max-sessions / --submit-budget /
+// --tenant-budget / --eviction-alert on `flags`.
 void register_daemon_flags(CliFlags& flags);
 
 // Validates the parsed flags and builds the config. Exits 2 with a usage
-// message on an invalid value (empty/overlong --listen, out-of-range
-// --max-sessions, malformed --submit-budget) — the same contract as the
-// other front ends' range checks.
+// message on an invalid value (malformed --listen spec, unknown
+// --front-end, out-of-range --max-sessions, malformed byte sizes) — the
+// same contract as the other front ends' range checks.
 DaemonConfig resolve_daemon_config(const CliFlags& flags);
 
 }  // namespace paramount::service

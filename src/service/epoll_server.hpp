@@ -1,0 +1,143 @@
+// EpollServer: the multiplexed event-loop front end for paramountd.
+//
+// Where ParamountServer burns one OS thread per connection (fine for a
+// handful of probes, hopeless at 10k sessions), this front end runs every
+// connection on ONE reactor thread: non-blocking FrameChannels, sessions as
+// readiness-driven SessionCore state machines, interval work still handed
+// to each detector's work-stealing pool. The v2 frame header's stream id
+// lets one connection carry many logical sessions — a fleet-wide collector
+// can multiplex thousands of enumeration streams over a few sockets.
+//
+// Listener: Unix path or TCP ("tcp:HOST:PORT"), same wire protocol either
+// way — the oracle-differential tests run bit-identical over both.
+//
+// Backpressure without blocking the loop: a session whose submit budget is
+// full returns kBlocked with the event stashed; the connection's reads are
+// disarmed and the SubmitGate's release wakes the loop (post) to retry.
+// With Options::tenant_budget_bytes set, sessions sharing a Hello tenant_id
+// share one gate — a flooding tenant stalls its own streams, not the
+// daemon. Per-connection read quanta (kReadQuantum frames per readiness
+// dispatch) keep one hot connection from starving the rest, which is what
+// holds p99 Poll latency flat as idle-session count grows.
+//
+// Close semantics per stream: a session on stream 0 (the plain
+// one-session-per-connection client) closes the connection when it ends,
+// exactly like the thread front end; sessions on nonzero streams come and
+// go while the connection stays up. Buffered replies (Goodbye under a full
+// socket) are flushed via EPOLLOUT before the close happens.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "service/channel.hpp"
+#include "service/event_loop.hpp"
+#include "service/server.hpp"  // ServerStats
+#include "service/session.hpp"
+#include "util/submit_gate.hpp"
+#include "util/sync.hpp"
+
+namespace paramount::service {
+
+class EpollServer {
+ public:
+  struct Options {
+    Endpoint endpoint;
+    std::uint32_t max_sessions = 1024;    // live streams, across connections
+    std::size_t submit_budget_bytes = 0;  // per-session gate (0 = off)
+    // Nonzero switches admission to shared per-tenant gates of this budget
+    // (sessions grouped by Hello::tenant_id).
+    std::size_t tenant_budget_bytes = 0;
+    std::uint64_t eviction_alert_threshold = 0;  // Stats alert (0 = off)
+    int backlog = 128;
+  };
+
+  explicit EpollServer(Options options) : options_(std::move(options)) {}
+  ~EpollServer() { stop(); }
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  // Binds, starts the reactor thread. Returns false with *error (and *why
+  // for the Unix live-listener refusal) on failure.
+  bool start(std::string* error, ListenUnixError* why = nullptr);
+
+  // Idempotent: stops the loop, finishes every live session (draining
+  // detectors, releasing pins), closes every connection.
+  void stop();
+
+  // The bound TCP port (resolves port 0 for tests/bench); 0 for Unix.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  ServerStats stats() const;
+
+  bool wait_sessions_completed(std::uint64_t n,
+                               std::chrono::milliseconds timeout) const;
+
+ private:
+  // All Connection state is loop-thread-only (stop() touches it only after
+  // joining the loop thread).
+  struct Connection {
+    explicit Connection(UniqueFd fd) : channel(std::move(fd)) {}
+    FrameChannel channel;
+    std::unordered_map<std::uint32_t, std::unique_ptr<SessionCore>> streams;
+    // Streams refused at --max-sessions: the typed Error went out once;
+    // later frames for them are dropped silently instead of re-erroring.
+    std::unordered_set<std::uint32_t> rejected_streams;
+    // Nonzero iff a stream's submission is gate-blocked: reads stay
+    // disarmed until retry_pending() wins admission.
+    bool blocked = false;
+    std::uint32_t blocked_stream = 0;
+    bool close_after_flush = false;  // stream-0 session ended; drain then close
+  };
+
+  // Frames drained per readiness dispatch before yielding to other
+  // connections — the fairness quantum.
+  static constexpr int kReadQuantum = 64;
+
+  void loop_main();
+  void on_acceptable();
+  void on_connection_ready(std::uint64_t conn_id, std::uint32_t ready);
+  void read_quantum(const std::shared_ptr<Connection>& conn,
+                    std::uint64_t conn_id);
+  // Routes one decoded-enough frame (payload + stream id); returns false
+  // when the connection must be torn down.
+  bool dispatch_frame(const std::shared_ptr<Connection>& conn,
+                      std::uint64_t conn_id, std::uint32_t stream_id,
+                      std::span<const std::uint8_t> payload);
+  SessionCore* open_stream(const std::shared_ptr<Connection>& conn,
+                           std::uint64_t conn_id, std::uint32_t stream_id);
+  void finish_stream(Connection& conn, std::uint32_t stream_id);
+  void finish_session(SessionCore& core);
+  void update_interest(std::uint64_t conn_id, Connection& conn);
+  void teardown(std::uint64_t conn_id, ReadStatus why);
+  void retry_blocked(std::uint64_t conn_id);
+  std::shared_ptr<SubmitGate> gate_for(const HelloBody& hello);
+
+  Options options_;
+  UniqueFd listener_;
+  std::uint16_t tcp_port_ = 0;
+  std::string bound_unix_path_;  // unlinked on stop
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  bool started_ = false;
+
+  // Loop-thread-only:
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+  std::unordered_map<int, std::uint64_t> conn_by_fd_;
+  std::unordered_map<std::uint32_t, std::weak_ptr<SubmitGate>> tenant_gates_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t live_sessions_ = 0;
+
+  mutable Mutex stats_mutex_;
+  mutable CondVar stats_cv_;
+  ServerStats stats_ PM_GUARDED_BY(stats_mutex_);
+};
+
+}  // namespace paramount::service

@@ -57,6 +57,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kClockRegression: return "clock-regression";
     case ErrorCode::kSessionLimit: return "session-limit";
     case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kBadStream: return "bad-stream";
   }
   return "?";
 }
@@ -69,6 +70,7 @@ std::vector<std::uint8_t> encode_hello(const HelloBody& body) {
   w.u32(body.async_workers);
   w.u64(body.gc_every);
   w.u64(body.window_bytes);
+  w.u32(body.tenant_id);
   return std::move(w).take();
 }
 
@@ -146,6 +148,8 @@ std::vector<std::uint8_t> encode_stats(const StatsBody& body) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kStats));
   put_counts(w, body.counts);
+  w.u64(body.eviction_alert_threshold);
+  w.u8(body.eviction_alert ? 1 : 0);
   w.u32(static_cast<std::uint32_t>(body.metrics_json.size()));
   w.bytes(body.metrics_json.data(), body.metrics_json.size());
   return std::move(w).take();
@@ -183,7 +187,7 @@ std::optional<DecodeError> decode_frame(std::span<const std::uint8_t> payload,
       HelloBody& b = out->hello;
       if (!r.u32(&b.version) || !r.u32(&b.num_threads) ||
           !r.u32(&b.async_workers) || !r.u64(&b.gc_every) ||
-          !r.u64(&b.window_bytes)) {
+          !r.u64(&b.window_bytes) || !r.u32(&b.tenant_id)) {
         return truncated("Hello");
       }
       break;
@@ -252,6 +256,12 @@ std::optional<DecodeError> decode_frame(std::span<const std::uint8_t> payload,
       out->op = Op::kStats;
       StatsBody& b = out->stats;
       if (!get_counts(r, &b.counts)) return truncated("Stats counts");
+      std::uint8_t alert = 0;
+      if (!r.u64(&b.eviction_alert_threshold) || !r.u8(&alert)) {
+        return truncated("Stats alert");
+      }
+      if (alert > 1) return malformed("eviction_alert must be 0 or 1");
+      b.eviction_alert = alert != 0;
       if (!r.str(&b.metrics_json)) return truncated("Stats JSON");
       break;
     }

@@ -41,7 +41,10 @@
 
 namespace paramount::service {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2: 8-byte frame header (length + stream id) for multi-stream
+// multiplexing, Hello carries a tenant id for per-tenant submit quotas, and
+// Stats replies carry the window_evictions alert threshold.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 // Hard ceiling on a frame payload; a length prefix above this is rejected
 // before any buffer is sized from it.
@@ -77,6 +80,7 @@ enum class ErrorCode : std::uint16_t {
   kClockRegression = 10, // reconstructed clock violates monotonicity
   kSessionLimit = 11,    // server at --max-sessions
   kShuttingDown = 12,    // event received after Shutdown began draining
+  kBadStream = 13,       // frame on a stream this session does not own
 };
 
 const char* to_string(ErrorCode code);
@@ -89,6 +93,10 @@ struct HelloBody {
   std::uint32_t async_workers = 0;  // 0 = enumerate inline on the session thread
   std::uint64_t gc_every = 0;       // sliding-window GC cadence (0 = off)
   std::uint64_t window_bytes = 0;   // byte-budget GC trigger (0 = off)
+  // Sessions with the same tenant id share one submit-budget quota when the
+  // server runs with a per-tenant budget (epoll front end): one tenant's
+  // event flood stalls that tenant's own streams, not the whole daemon.
+  std::uint32_t tenant_id = 0;
 
   friend bool operator==(const HelloBody&, const HelloBody&) = default;
 };
@@ -143,6 +151,12 @@ struct CountsBody {
 
 struct StatsBody {
   CountsBody counts;
+  // window_evictions alerting: the server's configured threshold travels in
+  // every Stats reply, and eviction_alert is set once counts.window_evictions
+  // reaches it — clients learn they are outrunning the detector window
+  // without parsing the JSON. Threshold 0 = alerting off.
+  std::uint64_t eviction_alert_threshold = 0;
+  bool eviction_alert = false;
   std::string metrics_json;  // obs::Telemetry metrics snapshot
 
   friend bool operator==(const StatsBody&, const StatsBody&) = default;

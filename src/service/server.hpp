@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "service/channel.hpp"
@@ -29,11 +30,18 @@
 namespace paramount::service {
 
 struct ServerStats {
+  std::uint64_t connections_accepted = 0;  // accept() successes (= sessions
+                                           // here; > sessions when an epoll
+                                           // connection multiplexes streams)
   std::uint64_t sessions_accepted = 0;
   std::uint64_t sessions_completed = 0;
-  std::uint64_t sessions_rejected = 0;   // over --max-sessions
+  // Admission refusals over --max-sessions. Deliberately NOT counted as
+  // protocol_errors: the client spoke the protocol correctly and the server
+  // turned it away — conflating the two made "protocol_errors: 0" useless
+  // as a client-correctness check whenever the limiter engaged.
+  std::uint64_t sessions_rejected = 0;
   std::uint64_t clean_shutdowns = 0;     // ended via Shutdown/Goodbye
-  std::uint64_t protocol_errors = 0;     // Error frames sent, all sessions
+  std::uint64_t protocol_errors = 0;     // in-session Error frames sent
   std::uint64_t frames = 0;              // well-formed frames handled
   std::uint64_t leaked_pins = 0;         // sum of final outstanding_pins
   std::uint64_t submit_stalls = 0;       // backpressure engagements, summed
@@ -47,6 +55,7 @@ class ParamountServer {
     std::string socket_path;
     std::uint32_t max_sessions = 8;       // concurrent session ceiling
     std::size_t submit_budget_bytes = 0;  // per-session SubmitGate (0 = off)
+    std::uint64_t eviction_alert_threshold = 0;  // Stats alert (0 = off)
     int backlog = 16;
   };
 
@@ -72,9 +81,16 @@ class ParamountServer {
   bool wait_sessions_completed(std::uint64_t n,
                                std::chrono::milliseconds timeout) const;
 
+  // Number of std::thread handles the server currently retains (live
+  // sessions plus not-yet-reaped finished ones). The regression probe for
+  // the handle leak: the pre-fix server kept one joinable handle per
+  // session ever accepted, so a long-lived daemon's vector grew without
+  // bound; post-fix this stays within live_sessions + O(1).
+  std::size_t session_thread_handles() const;
+
  private:
   void accept_loop();
-  void run_session(UniqueFd fd);
+  void run_session(std::uint64_t session_id, UniqueFd fd);
 
   Options options_;
   UniqueFd listener_;
@@ -90,7 +106,14 @@ class ParamountServer {
   // entry (under mutex_) before its channel closes the fd, so the shutdown
   // in stop() can never hit a recycled descriptor.
   std::vector<int> live_fds_ PM_GUARDED_BY(mutex_);
-  std::vector<std::thread> session_threads_ PM_GUARDED_BY(mutex_);
+  // Thread handles, keyed by session id while the session runs. A finishing
+  // session moves its own handle (which it cannot join) to
+  // finished_threads_ and joins the handles parked there by earlier
+  // sessions — so the retained-handle count tracks the live-session count
+  // instead of the accepted-session count. stop() joins whatever is left.
+  std::unordered_map<std::uint64_t, std::thread> session_threads_
+      PM_GUARDED_BY(mutex_);
+  std::vector<std::thread> finished_threads_ PM_GUARDED_BY(mutex_);
 };
 
 }  // namespace paramount::service

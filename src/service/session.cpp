@@ -11,47 +11,53 @@ std::size_t event_cost_bytes(std::size_t num_threads) {
   return sizeof(Event) + num_threads * sizeof(EventIndex) + 64;
 }
 
-Session::Result Session::run() {
-  std::vector<std::uint8_t> payload;
-  while (state_ != State::kClosed) {
-    switch (channel_.read_frame(&payload)) {
-      case ReadStatus::kFrame:
-        break;
-      case ReadStatus::kEof:
-        // Orderly close without Shutdown: finish silently (not "clean" —
-        // the handshake was skipped, but nothing was malformed either).
-        state_ = State::kClosed;
-        continue;
-      case ReadStatus::kTruncated:
-        send_error(ErrorCode::kTruncatedFrame, "stream ended mid-frame");
-        state_ = State::kClosed;
-        continue;
-      case ReadStatus::kOversized:
-        // Framing is lost (the payload was never read); close after the
-        // error frame.
-        send_error(ErrorCode::kOversizedFrame,
-                   "length prefix above " +
-                       std::to_string(kMaxFramePayload) + " bytes");
-        state_ = State::kClosed;
-        continue;
-      case ReadStatus::kError:
-        state_ = State::kClosed;
-        continue;
-    }
-    DecodedFrame frame;
-    if (const auto err = decode_frame(payload, &frame)) {
-      send_error(err->code, err->message);
-      state_ = State::kClosed;
-      continue;
-    }
-    ++result_.frames;
-    if (!handle_frame(frame)) state_ = State::kClosed;
+SessionCore::Disposition SessionCore::on_payload(
+    std::span<const std::uint8_t> payload) {
+  if (state_ == State::kClosed) return Disposition::kClose;
+  // A frame arriving while an event is stashed means the owner kept reading
+  // past a kBlocked — a driver bug, not a client one; fail closed rather
+  // than reorder the stream.
+  if (pending_.has_value()) {
+    send_error(ErrorCode::kUnexpectedFrame,
+               "frame while submission is blocked");
+    return close();
   }
-  finish();
-  return result_;
+  DecodedFrame frame;
+  if (const auto err = decode_frame(payload, &frame)) {
+    send_error(err->code, err->message);
+    return close();
+  }
+  ++result_.frames;
+  return handle_frame(frame);
 }
 
-bool Session::handle_frame(const DecodedFrame& frame) {
+SessionCore::Disposition SessionCore::on_transport_status(ReadStatus status) {
+  if (state_ == State::kClosed) return Disposition::kClose;
+  switch (status) {
+    case ReadStatus::kEof:
+      // Orderly close without Shutdown: finish silently (not "clean" — the
+      // handshake was skipped, but nothing was malformed either).
+      break;
+    case ReadStatus::kTruncated:
+      send_error(ErrorCode::kTruncatedFrame, "stream ended mid-frame");
+      break;
+    case ReadStatus::kOversized:
+      // Framing is lost (the payload was never read); close after the
+      // error frame.
+      send_error(ErrorCode::kOversizedFrame,
+                 "length prefix above " + std::to_string(kMaxFramePayload) +
+                     " bytes");
+      break;
+    case ReadStatus::kError:
+      break;
+    case ReadStatus::kFrame:
+    case ReadStatus::kWouldBlock:
+      return Disposition::kContinue;  // not a failure; nothing to do
+  }
+  return close();
+}
+
+SessionCore::Disposition SessionCore::handle_frame(const DecodedFrame& frame) {
   // Server→client opcodes arriving from a client are protocol violations in
   // any state.
   switch (frame.op) {
@@ -63,7 +69,7 @@ bool Session::handle_frame(const DecodedFrame& frame) {
       send_error(ErrorCode::kUnexpectedFrame,
                  std::string(to_string(frame.op)) +
                      " is a server-to-client frame");
-      return false;
+      return close();
     default:
       break;
   }
@@ -71,14 +77,14 @@ bool Session::handle_frame(const DecodedFrame& frame) {
     if (frame.op != Op::kHello) {
       send_error(ErrorCode::kExpectedHello,
                  std::string("expected Hello, got ") + to_string(frame.op));
-      return false;
+      return close();
     }
     return handle_hello(frame.hello);
   }
   switch (frame.op) {
     case Op::kHello:
       send_error(ErrorCode::kDuplicateHello, "session already established");
-      return false;
+      return close();
     case Op::kEvent:
       return handle_event(frame.event);
     case Op::kPoll:
@@ -88,26 +94,26 @@ bool Session::handle_frame(const DecodedFrame& frame) {
     case Op::kShutdown:
       return handle_shutdown();
     default:
-      return false;  // unreachable: covered above
+      return close();  // unreachable: covered above
   }
 }
 
-bool Session::handle_hello(const HelloBody& body) {
+SessionCore::Disposition SessionCore::handle_hello(const HelloBody& body) {
   if (body.version != kProtocolVersion) {
     send_error(ErrorCode::kBadHello,
                "unsupported protocol version " + std::to_string(body.version));
-    return false;
+    return close();
   }
   if (body.num_threads == 0 || body.num_threads > limits_.max_threads) {
     send_error(ErrorCode::kBadHello,
                "num_threads must be in [1, " +
                    std::to_string(limits_.max_threads) + "]");
-    return false;
+    return close();
   }
   if (body.async_workers > limits_.max_workers) {
     send_error(ErrorCode::kBadHello,
                "async_workers above " + std::to_string(limits_.max_workers));
-    return false;
+    return close();
   }
   num_threads_ = body.num_threads;
   windowed_ = body.gc_every > 0 || body.window_bytes > 0;
@@ -115,14 +121,20 @@ bool Session::handle_hello(const HelloBody& body) {
   telemetry_ = std::make_unique<obs::Telemetry>(num_threads_ +
                                                 body.async_workers);
   access_table_ = std::make_unique<AccessTable>(num_threads_);
-  gate_ = std::make_unique<SubmitGate>(limits_.submit_budget_bytes);
+  gate_ = gate_provider_ ? gate_provider_(body)
+                         : std::make_shared<SubmitGate>(
+                               limits_.submit_budget_bytes);
   OnlineRaceDetector::Options options;
   options.async_workers = body.async_workers;
   options.telemetry = telemetry_.get();
   options.window_policy = {body.gc_every,
                            static_cast<std::size_t>(body.window_bytes)};
-  options.interval_done = [gate = gate_.get(),
-                           cost = event_cost_](EventId) { gate->release(cost); };
+  // The gate outlives the detector only through this shared_ptr copy: a
+  // tenant gate is shared across sessions, and pooled workers may still be
+  // retiring intervals while another session's Hello re-fetches it.
+  options.interval_done = [gate = gate_, cost = event_cost_](EventId) {
+    gate->release(cost);
+  };
   detector_ = std::make_unique<OnlineRaceDetector>(num_threads_,
                                                    std::move(options));
   detector_->attach(*access_table_);
@@ -130,14 +142,15 @@ bool Session::handle_hello(const HelloBody& body) {
   state_ = State::kStreaming;
   result_.hello_seen = true;
   const auto ack = encode_hello_ack({kProtocolVersion, session_id_});
-  return channel_.write_frame(ack);
+  if (!send_(ack)) return close();
+  return Disposition::kContinue;
 }
 
-bool Session::handle_event(const EventBody& body) {
+SessionCore::Disposition SessionCore::handle_event(const EventBody& body) {
   if (body.tid >= num_threads_) {
     send_error(ErrorCode::kBadEvent,
                "tid " + std::to_string(body.tid) + " out of range");
-    return false;
+    return close();
   }
   const ThreadId tid = body.tid;
   // Reconstruct the absolute clock from the delta against this thread's
@@ -149,11 +162,11 @@ bool Session::handle_event(const EventBody& body) {
   for (const ClockDelta& d : body.delta) {
     if (d.component >= num_threads_) {
       send_error(ErrorCode::kBadEvent, "clock delta component out of range");
-      return false;
+      return close();
     }
     if (d.value > std::numeric_limits<EventIndex>::max()) {
       send_error(ErrorCode::kBadEvent, "clock component above 2^32-1");
-      return false;
+      return close();
     }
     clock[d.component] = static_cast<EventIndex>(d.value);
   }
@@ -163,13 +176,47 @@ bool Session::handle_event(const EventBody& body) {
                    ? ErrorCode::kClockRegression
                    : ErrorCode::kBadEvent,
                validator_->describe(tid, verdict));
-    return false;
+    return close();
   }
   if (!body.accesses.empty() && body.kind != OpKind::kCollection) {
     send_error(ErrorCode::kBadEvent,
                "accesses are only valid on collection events");
-    return false;
+    return close();
   }
+  // The event is fully validated but nothing is committed yet — stash it
+  // and let the gate decide whether submission happens now or after budget
+  // frees (retrying a stash repeats no side effects).
+  pending_ = PendingEvent{body, std::move(clock)};
+  return submit_pending();
+}
+
+SessionCore::Disposition SessionCore::submit_pending() {
+  // Backpressure: admit against the in-flight interval budget; pooled
+  // workers return the charge via interval_done.
+  if (gate_mode_ == GateMode::kBlocking) {
+    // Block here (the session thread stops reading its socket; the kernel
+    // buffer pushes back on the client).
+    gate_->acquire(event_cost_);
+  } else if (!gate_->acquire_or_notify(event_cost_, gate_ready_)) {
+    // Stays stashed; the owner stops reading this session until the gate's
+    // release fires gate_ready_ and retry_pending() wins admission.
+    ++result_.submit_stalls;
+    return Disposition::kBlocked;
+  }
+  PendingEvent pending = std::move(*pending_);
+  pending_.reset();
+  commit_event(pending.body, pending.clock);
+  return Disposition::kContinue;
+}
+
+SessionCore::Disposition SessionCore::retry_pending() {
+  if (state_ == State::kClosed) return Disposition::kClose;
+  if (!pending_.has_value()) return Disposition::kContinue;
+  return submit_pending();
+}
+
+void SessionCore::commit_event(const EventBody& body,
+                               const VectorClock& clock) {
   // The wire `object` is never trusted: collection payloads are rebuilt in
   // the session's own AccessTable and the event points at that copy.
   std::uint32_t object = body.object;
@@ -178,19 +225,14 @@ bool Session::handle_event(const EventBody& body) {
     for (const AccessRecord& a : body.accesses) {
       set.merge(a.var, a.is_write, a.is_init);
     }
-    object = access_table_->append(tid, std::move(set));
+    object = access_table_->append(body.tid, std::move(set));
   }
-  // Backpressure: block here (stop reading the socket) until the in-flight
-  // interval budget admits the event; pooled workers return the charge via
-  // interval_done.
-  gate_->acquire(event_cost_);
-  validator_->commit(tid, clock);
+  validator_->commit(body.tid, clock);
   ++events_accepted_;
-  detector_->on_event(tid, body.kind, object, clock);
-  return true;
+  detector_->on_event(body.tid, body.kind, object, clock);
 }
 
-CountsBody Session::current_counts() {
+CountsBody SessionCore::current_counts() {
   CountsBody c;
   c.events = events_accepted_;
   c.states = detector_->states_enumerated();
@@ -203,40 +245,59 @@ CountsBody Session::current_counts() {
   return c;
 }
 
-bool Session::handle_poll() {
+SessionCore::Disposition SessionCore::handle_poll() {
   const CountsBody counts = current_counts();
   // Refresh the poset-wide gauges before the snapshot so the JSON agrees
   // with the counts (shard 0 only: gauge totals sum over shards, and the
-  // session thread is shard 0's single writer).
+  // submitting thread is shard 0's single writer).
   obs::Telemetry& tel = *telemetry_;
   tel.metrics().set(tel.poset_resident_bytes, 0, counts.resident_bytes);
   tel.metrics().set(tel.poset_reclaimed_events, 0, counts.reclaimed_events);
   tel.metrics().set(tel.window_evictions, 0, counts.window_evictions);
-  StatsBody stats{counts, tel.snapshot().to_json()};
-  return channel_.write_frame(encode_stats(stats));
+  StatsBody stats;
+  stats.counts = counts;
+  stats.eviction_alert_threshold = limits_.eviction_alert_threshold;
+  stats.eviction_alert = limits_.eviction_alert_threshold > 0 &&
+                         counts.window_evictions >=
+                             limits_.eviction_alert_threshold;
+  stats.metrics_json = tel.snapshot().to_json();
+  if (!send_(encode_stats(stats))) return close();
+  return Disposition::kContinue;
 }
 
-bool Session::handle_drain() {
+SessionCore::Disposition SessionCore::handle_drain() {
   detector_->drain();
   if (windowed_) detector_->paramount().collect();
-  return channel_.write_frame(encode_counts(Op::kDrained, current_counts()));
+  if (!send_(encode_counts(Op::kDrained, current_counts()))) return close();
+  return Disposition::kContinue;
 }
 
-bool Session::handle_shutdown() {
+SessionCore::Disposition SessionCore::handle_shutdown() {
   detector_->drain();
   if (windowed_) detector_->paramount().collect();
   result_.clean_shutdown = true;
-  channel_.write_frame(encode_counts(Op::kGoodbye, current_counts()));
-  channel_.shutdown_write();
-  return false;  // always close after Goodbye
+  send_(encode_counts(Op::kGoodbye, current_counts()));
+  return close();  // always close after Goodbye
 }
 
-void Session::send_error(ErrorCode code, const std::string& message) {
+void SessionCore::send_error(ErrorCode code, const std::string& message) {
   ++result_.protocol_errors;
-  channel_.write_frame(encode_error(code, message));
+  send_(encode_error(code, message));
 }
 
-void Session::finish() {
+SessionCore::Disposition SessionCore::close(Disposition why) {
+  state_ = State::kClosed;
+  finish();
+  return why;
+}
+
+void SessionCore::finish() {
+  if (finished_) return;
+  finished_ = true;
+  state_ = State::kClosed;
+  // A stashed-but-never-admitted event was never charged or committed;
+  // dropping it leaks nothing.
+  pending_.reset();
   if (detector_ != nullptr) {
     // Whatever ended the session, retire in-flight intervals: drain() waits
     // for every queued enumeration (each releases its EnumGuard pin), and —
@@ -249,8 +310,38 @@ void Session::finish() {
     for (const RaceFinding& f : detector_->report().findings()) {
       result_.racy_vars.push_back(f.var);
     }
-    result_.submit_stalls = gate_->stalls();
+    if (gate_mode_ == GateMode::kBlocking) {
+      result_.submit_stalls = gate_->stalls();
+    }
   }
+}
+
+Session::Session(FrameChannel channel, std::uint64_t session_id,
+                 Limits limits)
+    : channel_(std::move(channel)),
+      core_(session_id, limits, SessionCore::GateMode::kBlocking,
+            // The send callback captures `this`; Session is neither copied
+            // nor moved after construction, so the pointer stays valid.
+            [this](std::span<const std::uint8_t> payload) {
+              return channel_.write_frame(payload);
+            }) {}
+
+Session::Result Session::run() {
+  std::vector<std::uint8_t> payload;
+  while (!core_.closed()) {
+    const ReadStatus status = channel_.read_frame(&payload);
+    if (status != ReadStatus::kFrame) {
+      core_.on_transport_status(status);
+      break;
+    }
+    core_.on_payload(payload);  // kBlocking mode: never kBlocked
+  }
+  core_.finish();
+  // The Shutdown/Goodbye handshake ends with a server-side half-close so
+  // the client sees EOF after Goodbye (the thread server owns the socket;
+  // the core only knows frames).
+  if (core_.result().clean_shutdown) channel_.shutdown_write();
+  return core_.result();
 }
 
 }  // namespace paramount::service

@@ -1,5 +1,5 @@
-// One paramountd client session: the frame-level state machine that turns a
-// socket's event stream into OnlineRaceDetector submissions.
+// One paramountd client session: the frame-level state machine that turns an
+// event stream into OnlineRaceDetector submissions.
 //
 // States: AwaitHello → Streaming → Closed. Every input byte is untrusted:
 // decode errors and semantic violations (bad tid, clock regression,
@@ -11,14 +11,29 @@
 // intervals and runs a final collect(), so every EnumGuard pin is released
 // and the final counts are exact.
 //
-// The session thread is the only submitter, so it owns all program-thread
-// telemetry shards (0..num_threads-1); pooled enumeration workers write the
-// shards above — the single-writer-per-shard contract holds with one
-// Telemetry per session.
+// The logic lives in SessionCore, which is transport-free: it consumes
+// decoded payloads and emits reply frames through a send callback, so the
+// same state machine drives both front ends —
+//   * the thread-per-connection server wraps it in Session, whose run()
+//     loop owns a blocking FrameChannel (GateMode::kBlocking: submit
+//     backpressure blocks the session thread, which stops reading the
+//     socket and lets the kernel push back on the client);
+//   * the epoll front end drives one SessionCore per multiplexed stream
+//     (GateMode::kNotify: a full submit budget returns kBlocked with the
+//     event stashed; the gate's release wakes the loop, which calls
+//     retry_pending() and resumes reading that connection).
+//
+// Whichever front end, a single thread feeds any given SessionCore, so the
+// core owns all program-thread telemetry shards (0..num_threads-1); pooled
+// enumeration workers write the shards above — the single-writer-per-shard
+// contract holds with one Telemetry per session.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "detect/online_detector.hpp"
@@ -34,12 +49,15 @@ namespace paramount::service {
 // of what one queued interval holds resident (event + clock + task).
 std::size_t event_cost_bytes(std::size_t num_threads);
 
-class Session {
+class SessionCore {
  public:
   struct Limits {
     std::uint32_t max_threads = 512;    // Hello::num_threads ceiling
     std::uint32_t max_workers = 64;     // Hello::async_workers ceiling
     std::size_t submit_budget_bytes = 0;  // SubmitGate budget (0 = unbounded)
+    // Stats replies flag eviction_alert once window_evictions reaches this
+    // (0 = alerting off); the daemon's --eviction-alert flag.
+    std::uint64_t eviction_alert_threshold = 0;
   };
 
   struct Result {
@@ -47,44 +65,122 @@ class Session {
     std::vector<VarId> racy_vars;  // sorted; the exact race-report var set
     std::uint64_t frames = 0;    // well-formed frames handled
     std::uint64_t protocol_errors = 0;  // Error frames sent
-    std::uint64_t submit_stalls = 0;  // SubmitGate acquires that blocked
+    std::uint64_t submit_stalls = 0;  // submissions that had to wait
     bool hello_seen = false;
     bool clean_shutdown = false;  // ended via the Shutdown/Goodbye handshake
   };
 
-  Session(FrameChannel channel, std::uint64_t session_id, Limits limits)
-      : channel_(std::move(channel)), session_id_(session_id),
-        limits_(limits) {}
+  // What the caller must do next after feeding the core.
+  enum class Disposition {
+    kContinue,  // keep reading
+    kClose,     // session over (Goodbye sent, Error sent, or transport dead)
+    kBlocked,   // submit budget full: event stashed; stop reading this
+                // session and call retry_pending() after on_gate_ready fires
+  };
 
-  // Runs the session to completion on the calling thread. Never throws,
-  // never aborts on malformed input; returns once the connection is done
-  // and every pin is released.
-  Result run();
+  // How submit backpressure is exercised.
+  enum class GateMode {
+    kBlocking,  // gate->acquire() blocks the calling thread (thread server)
+    kNotify,    // gate->acquire_or_notify(); kBlocked + callback (epoll)
+  };
+
+  // Emits one reply frame; returns false when the transport is dead (the
+  // core then treats the session as closed). The callback owns framing —
+  // the core never sees a socket.
+  using SendFn = std::function<bool(std::span<const std::uint8_t>)>;
+
+  // Supplies the submit gate once Hello arrives (epoll front end: sessions
+  // of the same tenant share one gate). Null → the core builds a private
+  // gate from limits.submit_budget_bytes.
+  using GateProvider =
+      std::function<std::shared_ptr<SubmitGate>(const HelloBody&)>;
+
+  SessionCore(std::uint64_t session_id, Limits limits, GateMode gate_mode,
+              SendFn send)
+      : session_id_(session_id), limits_(limits), gate_mode_(gate_mode),
+        send_(std::move(send)) {}
+
+  SessionCore(const SessionCore&) = delete;
+  SessionCore& operator=(const SessionCore&) = delete;
+
+  // Optional hooks, set before the first payload:
+  void set_gate_provider(GateProvider provider) {
+    gate_provider_ = std::move(provider);
+  }
+  // Invoked (from SubmitGate::release, any thread) when budget may have
+  // freed after a kBlocked; the owner schedules retry_pending(). kNotify
+  // mode only.
+  void set_gate_ready(std::function<void()> on_ready) {
+    gate_ready_ = std::move(on_ready);
+  }
+
+  std::uint64_t session_id() const { return session_id_; }
+
+  // Feeds one frame payload (undecoded bytes; the core decodes). Never
+  // throws, never aborts on malformed input.
+  Disposition on_payload(std::span<const std::uint8_t> payload);
+
+  // Maps a transport-level read failure to the protocol reaction the
+  // blocking loop used inline (typed Error for truncated/oversized, silent
+  // close otherwise). kFrame/kWouldBlock are not transport failures.
+  Disposition on_transport_status(ReadStatus status);
+
+  // Re-attempts the stashed event after a kBlocked. Returns kBlocked again
+  // if the budget is still full (the gate callback re-queues), kContinue
+  // once submitted.
+  Disposition retry_pending();
+  bool has_pending_event() const { return pending_.has_value(); }
+
+  bool closed() const { return state_ == State::kClosed; }
+
+  // Drains the detector, runs a final collect(), and seals result().
+  // Idempotent; called automatically when the protocol closes the session,
+  // and by owners on teardown/disconnect.
+  void finish();
+
+  const Result& result() const { return result_; }
 
  private:
   enum class State { kAwaitHello, kStreaming, kClosed };
 
-  // Frame handlers; each returns false when the session must close.
-  bool handle_frame(const DecodedFrame& frame);
-  bool handle_hello(const HelloBody& body);
-  bool handle_event(const EventBody& body);
-  bool handle_poll();
-  bool handle_drain();
-  bool handle_shutdown();
+  // A validated event waiting on submit budget (kNotify mode): clock
+  // already reconstructed and checked, but nothing committed — retry is
+  // idempotent.
+  struct PendingEvent {
+    EventBody body;
+    VectorClock clock;
+  };
+
+  // Frame handlers; each returns the next disposition.
+  Disposition handle_frame(const DecodedFrame& frame);
+  Disposition handle_hello(const HelloBody& body);
+  Disposition handle_event(const EventBody& body);
+  Disposition handle_poll();
+  Disposition handle_drain();
+  Disposition handle_shutdown();
+
+  // Admits pending_ against the gate and, on success, commits it.
+  Disposition submit_pending();
+  // The post-admission half: access-table append, clock commit, on_event.
+  void commit_event(const EventBody& body, const VectorClock& clock);
 
   // Sends a typed Error frame (best effort) and counts it.
   void send_error(ErrorCode code, const std::string& message);
 
-  // Drains the detector, runs a final collect(), and fills result_.counts.
-  void finish();
+  Disposition close(Disposition why = Disposition::kClose);
 
   CountsBody current_counts();
 
-  FrameChannel channel_;
   const std::uint64_t session_id_;
   const Limits limits_;
+  const GateMode gate_mode_;
+  SendFn send_;
+  GateProvider gate_provider_;
+  std::function<void()> gate_ready_;
+
   State state_ = State::kAwaitHello;
   Result result_;
+  bool finished_ = false;
 
   // Established by Hello:
   std::uint32_t num_threads_ = 0;
@@ -92,12 +188,35 @@ class Session {
   std::size_t event_cost_ = 0;
   std::unique_ptr<obs::Telemetry> telemetry_;
   std::unique_ptr<AccessTable> access_table_;
-  std::unique_ptr<SubmitGate> gate_;
+  std::shared_ptr<SubmitGate> gate_;
   std::unique_ptr<OnlineRaceDetector> detector_;
   // Shared wire/trace clock checker (poset/clock_validator.hpp): enforces
   // the same invariants OnlinePoset::insert() PM_CHECKs, as typed errors.
   std::unique_ptr<ClockValidator> validator_;
   std::uint64_t events_accepted_ = 0;
+  std::optional<PendingEvent> pending_;
+};
+
+// The thread-per-connection wrapper: owns a blocking FrameChannel and runs
+// a SessionCore to completion on the calling thread. Stream ids on a
+// dedicated connection are ignored on input and echoed as 0 — one
+// connection is one session here; multiplexing belongs to the epoll front
+// end.
+class Session {
+ public:
+  using Limits = SessionCore::Limits;
+  using Result = SessionCore::Result;
+
+  Session(FrameChannel channel, std::uint64_t session_id, Limits limits);
+
+  // Runs the session to completion on the calling thread. Never throws,
+  // never aborts on malformed input; returns once the connection is done
+  // and every pin is released.
+  Result run();
+
+ private:
+  FrameChannel channel_;
+  SessionCore core_;
 };
 
 }  // namespace paramount::service

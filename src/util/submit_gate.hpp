@@ -13,10 +13,23 @@
 // nothing is in flight (an oversized single item must still make progress —
 // the classic bounded-queue passage rule, so budget < item size degrades to
 // serial execution rather than deadlock). Budget 0 disables the gate.
+//
+// Two waiting disciplines share one budget:
+//   * acquire() blocks the calling thread (the thread-per-connection
+//     session's socket pump);
+//   * acquire_or_notify() never blocks — when admission fails it queues a
+//     one-shot callback fired on a later release(), the epoll front end's
+//     "pause this connection's reads, resume when quota frees" hook.
+// One gate may be shared by many sessions (per-tenant quotas): released
+// budget wakes both blocked acquirers and queued notifiers, FIFO-first.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/sync.hpp"
@@ -57,15 +70,50 @@ class SubmitGate {
     return true;
   }
 
-  // Returns budget charged by a completed submission.
+  // Non-blocking with wake-up: charges and returns true if `bytes` is
+  // admissible now; otherwise queues `notify` (FIFO) to be invoked exactly
+  // once after a release() frees enough budget for it, counts the stall,
+  // and returns false WITHOUT charging. The callback re-attempts admission
+  // itself (capacity may have been taken again by the time it runs); it is
+  // invoked outside the gate lock and must not re-enter the gate
+  // synchronously in a way that blocks.
+  bool acquire_or_notify(std::size_t bytes, std::function<void()> notify) {
+    if (budget_ == 0) return true;
+    MutexLock lock(mutex_);
+    if (in_flight_ == 0 || in_flight_ + bytes <= budget_) {
+      in_flight_ += bytes;
+      return true;
+    }
+    ++stalls_;
+    waiters_.push_back({bytes, std::move(notify)});
+    return false;
+  }
+
+  // Returns budget charged by a completed submission and wakes waiters:
+  // blocked acquire()s via the condition variable, queued notifiers by
+  // popping every FIFO-prefix entry that now fits (stop at the first that
+  // does not — head-of-line order keeps one big waiter from starving).
   void release(std::size_t bytes) {
     if (budget_ == 0) return;
+    std::vector<std::function<void()>> ready;
     {
       MutexLock lock(mutex_);
       PM_CHECK_MSG(bytes <= in_flight_, "SubmitGate release exceeds charge");
       in_flight_ -= bytes;
+      while (!waiters_.empty() &&
+             (in_flight_ == 0 ||
+              in_flight_ + waiters_.front().bytes <= budget_)) {
+        ready.push_back(std::move(waiters_.front().notify));
+        waiters_.pop_front();
+        // The waiter re-acquires for itself; popping more than one is only
+        // fair when the budget would admit them side by side, which the
+        // in_flight_ check above cannot know — wake one per fitting slot
+        // and let re-registration handle the rest.
+        break;
+      }
     }
     cv_.notify_all();
+    for (std::function<void()>& fn : ready) fn();
   }
 
   std::size_t in_flight_bytes() const {
@@ -83,11 +131,17 @@ class SubmitGate {
   }
 
  private:
+  struct Waiter {
+    std::size_t bytes;
+    std::function<void()> notify;
+  };
+
   const std::size_t budget_;  // immutable after construction; 0 = unbounded
   mutable Mutex mutex_;
   CondVar cv_;
   std::size_t in_flight_ PM_GUARDED_BY(mutex_) = 0;
   std::uint64_t stalls_ PM_GUARDED_BY(mutex_) = 0;
+  std::deque<Waiter> waiters_ PM_GUARDED_BY(mutex_);
 };
 
 }  // namespace paramount

@@ -365,9 +365,9 @@ TEST_F(ServiceTest, PollReturnsTelemetrySnapshot) {
 TEST_F(ServiceTest, TruncatedFrameGetsTypedErrorAndClose) {
   start_server();
   FrameChannel channel = connect();
-  // Length prefix promises 100 bytes; deliver 10 and half-close.
-  const std::uint8_t prefix[4] = {100, 0, 0, 0};
-  ASSERT_EQ(::write(channel.fd(), prefix, 4), 4);
+  // Header promises 100 bytes (on stream 0); deliver 10 and half-close.
+  const std::uint8_t prefix[8] = {100, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(::write(channel.fd(), prefix, 8), 8);
   const std::uint8_t partial[10] = {};
   ASSERT_EQ(::write(channel.fd(), partial, 10), 10);
   channel.shutdown_write();
@@ -379,8 +379,9 @@ TEST_F(ServiceTest, TruncatedFrameGetsTypedErrorAndClose) {
 TEST_F(ServiceTest, OversizedLengthPrefixGetsTypedError) {
   start_server();
   FrameChannel channel = connect();
-  const std::uint8_t prefix[4] = {0xff, 0xff, 0xff, 0x7f};  // ~2 GiB claim
-  ASSERT_EQ(::write(channel.fd(), prefix, 4), 4);
+  // ~2 GiB length claim on stream 0.
+  const std::uint8_t prefix[8] = {0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0};
+  ASSERT_EQ(::write(channel.fd(), prefix, 8), 8);
   expect_error_then_close(channel, ErrorCode::kOversizedFrame);
   await_completed(1);
 }
@@ -388,8 +389,9 @@ TEST_F(ServiceTest, OversizedLengthPrefixGetsTypedError) {
 TEST_F(ServiceTest, UnknownOpcodeGetsTypedError) {
   start_server();
   FrameChannel channel = connect();
-  const std::uint8_t frame[5] = {1, 0, 0, 0, 0x55};  // len=1, opcode 0x55
-  ASSERT_EQ(::write(channel.fd(), frame, 5), 5);
+  // len=1, stream 0, opcode 0x55
+  const std::uint8_t frame[9] = {1, 0, 0, 0, 0, 0, 0, 0, 0x55};
+  ASSERT_EQ(::write(channel.fd(), frame, 9), 9);
   expect_error_then_close(channel, ErrorCode::kUnknownOpcode);
   await_completed(1);
 }
@@ -565,10 +567,10 @@ TEST_F(ServiceTest, KillMidStreamReleasesPinsAndServerSurvives) {
     SyntheticEventStream stream(params);
     std::vector<VectorClock> prev(2, VectorClock(2));
     stream_events(channel, stream, prev, 300);
-    // Die mid-frame: a bare length prefix with no payload, then the channel
+    // Die mid-frame: a bare header with no payload, then the channel
     // destructor closes the socket with intervals still in flight.
-    const std::uint8_t prefix[4] = {50, 0, 0, 0};
-    ASSERT_EQ(::write(channel.fd(), prefix, 4), 4);
+    const std::uint8_t prefix[8] = {50, 0, 0, 0, 0, 0, 0, 0};
+    ASSERT_EQ(::write(channel.fd(), prefix, 8), 8);
   }
   await_completed(1);
   const ServerStats after_kill = server_->stats();
@@ -660,6 +662,39 @@ TEST_F(ServiceTest, SessionLimitAnswersTypedError) {
   const ServerStats stats = server_->stats();
   EXPECT_EQ(stats.sessions_rejected, 1u);
   EXPECT_EQ(stats.sessions_accepted, 2u);
+  // The S4 regression: a limiter refusal is an admission decision, not a
+  // client mistake — it must NOT count as a protocol error (the double
+  // count made "protocol_errors: 0" useless once the limiter engaged).
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.clean_shutdowns, 1u);
+}
+
+// The S1 regression: the accept loop used to stash every session's
+// std::thread handle in a vector that was only joined at stop(), so a
+// long-lived daemon accumulated one dead-but-joinable handle (plus its
+// kernel task) per connection ever served. Handles must now be reaped as
+// sessions retire: after many sequential sessions the parked-handle count
+// stays O(1), not O(sessions).
+TEST_F(ServiceTest, SessionThreadHandlesAreReapedNotAccumulated) {
+  start_server();
+  constexpr std::uint64_t kSessions = 1000;
+  for (std::uint64_t i = 0; i < kSessions; ++i) {
+    FrameChannel channel = connect();
+    HelloBody h;
+    h.num_threads = 2;
+    hello(channel, h);
+    ASSERT_TRUE(channel.write_frame(encode_shutdown()));
+    EXPECT_EQ(read_frame(channel).op, Op::kGoodbye);
+  }
+  await_completed(kSessions);
+  // A finished session parks its own handle for the NEXT session to reap,
+  // so a handful may be parked at any instant — but never the full
+  // history (pre-fix this sat at kSessions).
+  EXPECT_LE(server_->session_thread_handles(), 8u);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.sessions_completed, kSessions);
+  EXPECT_EQ(stats.clean_shutdowns, kSessions);
+  EXPECT_EQ(stats.leaked_pins, 0u);
 }
 
 // Window GC keeps the session's poset at a plateau: the final resident

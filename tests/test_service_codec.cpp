@@ -51,7 +51,12 @@ std::vector<std::vector<std::uint8_t>> corpus() {
   counts.window_evictions = 12;
   frames.push_back(encode_counts(Op::kDrained, counts));
   frames.push_back(encode_counts(Op::kGoodbye, counts));
-  frames.push_back(encode_stats({counts, R"({"counters":{}})"}));
+  StatsBody stats;
+  stats.counts = counts;
+  stats.eviction_alert_threshold = 10;
+  stats.eviction_alert = true;
+  stats.metrics_json = R"({"counters":{}})";
+  frames.push_back(encode_stats(stats));
   frames.push_back(encode_error(ErrorCode::kBadEvent, "tid out of range"));
   return frames;
 }
@@ -110,7 +115,11 @@ TEST(ServiceFrame, ServerFramesRoundTrip) {
   EXPECT_EQ(out.op, Op::kGoodbye);
   EXPECT_EQ(out.counts, counts);
 
-  const StatsBody stats{counts, R"({"gauges":{"poset.resident_bytes":512}})"};
+  StatsBody stats;
+  stats.counts = counts;
+  stats.eviction_alert_threshold = 7;
+  stats.eviction_alert = true;
+  stats.metrics_json = R"({"gauges":{"poset.resident_bytes":512}})";
   ASSERT_FALSE(decode_frame(encode_stats(stats), &out).has_value());
   EXPECT_EQ(out.op, Op::kStats);
   EXPECT_EQ(out.stats, stats);
@@ -320,6 +329,59 @@ TEST(SubmitGate, ZeroBudgetDisablesTheGate) {
   EXPECT_EQ(gate.stalls(), 0u);
 }
 
+// The event loop's non-blocking admission: a refused acquire_or_notify
+// queues the notify WITHOUT charging, and release() invokes exactly one
+// fitting waiter's callback (the waiter re-attempts its own admission).
+TEST(SubmitGate, AcquireOrNotifyQueuesWithoutChargingAndWakesInFifoOrder) {
+  SubmitGate gate(100);
+  EXPECT_TRUE(gate.acquire_or_notify(80, [] {}));  // fits: charged
+  EXPECT_EQ(gate.in_flight_bytes(), 80u);
+
+  std::vector<int> fired;
+  EXPECT_FALSE(gate.acquire_or_notify(50, [&] { fired.push_back(1); }));
+  EXPECT_FALSE(gate.acquire_or_notify(30, [&] { fired.push_back(2); }));
+  // Refusals queue, they do not charge.
+  EXPECT_EQ(gate.in_flight_bytes(), 80u);
+  EXPECT_EQ(gate.stalls(), 2u);
+  EXPECT_TRUE(fired.empty());
+
+  // One release, one wake — the FIFO head, not both waiters.
+  gate.release(80);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1);
+
+  // The woken waiter re-attempts; it now fits and charges.
+  EXPECT_TRUE(gate.acquire_or_notify(50, [] {}));
+  EXPECT_EQ(gate.in_flight_bytes(), 50u);
+  gate.release(50);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], 2);
+}
+
+TEST(SubmitGate, AcquireOrNotifyPassageRuleAdmitsOversizedWhenIdle) {
+  // Like the blocking passage rule: an item larger than the whole budget
+  // must pass when nothing is in flight (or nothing would ever run).
+  SubmitGate gate(10);
+  EXPECT_TRUE(gate.acquire_or_notify(100, [] {}));
+  bool fired = false;
+  EXPECT_FALSE(gate.acquire_or_notify(100, [&] { fired = true; }));
+  gate.release(100);
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(gate.acquire_or_notify(100, [] {}));
+  gate.release(100);
+  EXPECT_EQ(gate.in_flight_bytes(), 0u);
+}
+
+TEST(SubmitGate, AcquireOrNotifyZeroBudgetNeverQueues) {
+  SubmitGate gate(0);
+  bool fired = false;
+  EXPECT_TRUE(gate.acquire_or_notify(std::size_t{1} << 40,
+                                     [&] { fired = true; }));
+  gate.release(std::size_t{1} << 40);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(gate.stalls(), 0u);
+}
+
 // ---- paramountd flag validation (exit 2 on invalid values) ----
 
 DaemonConfig resolve(std::vector<const char*> argv) {
@@ -335,9 +397,44 @@ TEST(DaemonFlags, AcceptsValidValues) {
   const DaemonConfig config =
       resolve({"--listen=/tmp/pm.sock", "--max-sessions=4",
                "--submit-budget=4M"});
-  EXPECT_EQ(config.socket_path, "/tmp/pm.sock");
+  EXPECT_EQ(config.endpoint.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(config.endpoint.path, "/tmp/pm.sock");
+  EXPECT_EQ(config.front_end, FrontEnd::kEpoll);
   EXPECT_EQ(config.max_sessions, 4u);
   EXPECT_EQ(config.submit_budget_bytes, std::size_t{4} << 20);
+  EXPECT_EQ(config.tenant_budget_bytes, 0u);
+  EXPECT_EQ(config.eviction_alert_threshold, 0u);
+}
+
+TEST(DaemonFlags, ParsesTcpListenSpec) {
+  const DaemonConfig config = resolve({"--listen=tcp:127.0.0.1:7000"});
+  EXPECT_EQ(config.endpoint.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(config.endpoint.host, "127.0.0.1");
+  EXPECT_EQ(config.endpoint.port, 7000u);
+}
+
+TEST(DaemonFlags, ParsesFrontEndTenantBudgetAndAlert) {
+  const DaemonConfig config =
+      resolve({"--front-end=threads", "--tenant-budget=16M",
+               "--eviction-alert=500"});
+  EXPECT_EQ(config.front_end, FrontEnd::kThreads);
+  EXPECT_EQ(config.tenant_budget_bytes, std::size_t{16} << 20);
+  EXPECT_EQ(config.eviction_alert_threshold, 500u);
+}
+
+TEST(DaemonFlags, RejectsUnknownFrontEnd) {
+  EXPECT_EXIT(resolve({"--front-end=fibers"}), ::testing::ExitedWithCode(2),
+              "front-end");
+}
+
+TEST(DaemonFlags, RejectsTcpListenOnThreadFrontEnd) {
+  EXPECT_EXIT(resolve({"--front-end=threads", "--listen=tcp:*:7000"}),
+              ::testing::ExitedWithCode(2), "front-end=threads");
+}
+
+TEST(DaemonFlags, RejectsMalformedTcpPort) {
+  EXPECT_EXIT(resolve({"--listen=tcp:localhost:http"}),
+              ::testing::ExitedWithCode(2), "--listen");
 }
 
 TEST(DaemonFlags, EmptyBudgetMeansUnbounded) {
@@ -361,7 +458,9 @@ TEST(DaemonFlags, RejectsZeroMaxSessions) {
 }
 
 TEST(DaemonFlags, RejectsOutOfRangeMaxSessions) {
-  EXPECT_EXIT(resolve({"--max-sessions=100000"}),
+  // The epoll front end raised the ceiling to fd-table scale (2^20); only
+  // values beyond that are refused now.
+  EXPECT_EXIT(resolve({"--max-sessions=2000000"}),
               ::testing::ExitedWithCode(2), "max-sessions");
 }
 
