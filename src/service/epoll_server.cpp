@@ -124,6 +124,15 @@ void EpollServer::on_connection_ready(std::uint64_t conn_id,
       !conn->close_after_flush) {
     read_quantum(conn, conn_id);
     if (connections_.find(conn_id) == connections_.end()) return;
+  } else if (ready & EventLoop::kHangup) {
+    // The peer died while this connection was deliberately not reading
+    // (gate-blocked, or draining a final reply). ERR/HUP are unmaskable
+    // and level-triggered: ignoring them here would re-fire the event
+    // forever — a busy-spinning reactor pinned to a dead peer that can
+    // never be torn down if its gate never frees. Tear it down now; the
+    // stashed pending event was never charged, so nothing leaks.
+    teardown(conn_id, ReadStatus::kError);
+    return;
   }
   update_interest(conn_id, *conn);
 }
@@ -165,7 +174,21 @@ bool EpollServer::dispatch_frame(const std::shared_ptr<Connection>& conn,
     core = it->second.get();
   } else {
     core = open_stream(conn, conn_id, stream_id);
-    if (core == nullptr) return true;  // rejected; Error already sent
+    if (core == nullptr) {
+      // Rejected; the typed Error already went out. A connection that
+      // keeps opening streams past the session limit is hostile or broken:
+      // once its rejected set hits the cap, close it (after the buffered
+      // Error frames drain) instead of tracking ids without bound.
+      if (conn->rejected_streams.size() >= kMaxRejectedStreams) {
+        if (conn->channel.has_pending_write()) {
+          conn->close_after_flush = true;
+        } else {
+          teardown(conn_id, ReadStatus::kEof);
+        }
+        return false;
+      }
+      return true;
+    }
   }
   switch (core->on_payload(payload)) {
     case SessionCore::Disposition::kContinue:

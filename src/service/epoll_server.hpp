@@ -100,6 +100,14 @@ class EpollServer {
   // connections — the fairness quantum.
   static constexpr int kReadQuantum = 64;
 
+  // Ceiling on rejected_streams per connection. Re-rejecting is cheap but
+  // the tracking set is not free: a client at --max-sessions spraying
+  // frames across distinct stream ids would otherwise grow it (one entry +
+  // one Error frame per id) without bound from a single connection. A
+  // legitimate multiplexer backs off after a handful of refusals; past the
+  // cap the connection is closed.
+  static constexpr std::size_t kMaxRejectedStreams = 32;
+
   void loop_main();
   void on_acceptable();
   void on_connection_ready(std::uint64_t conn_id, std::uint32_t ready);

@@ -100,6 +100,7 @@ void EventLoop::run() {
       if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
         ready |= kReadable;
       }
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) ready |= kHangup;
       if (events[i].events & EPOLLOUT) ready |= kWritable;
       // The handler may remove itself (erasing the table entry destroys
       // the std::function): invoke a copy, never through the iterator.

@@ -28,11 +28,17 @@ namespace paramount::service {
 
 class EventLoop {
  public:
-  // Ready-bit mask passed to handlers: kReadable | kWritable. EPOLLERR /
-  // EPOLLHUP are folded into kReadable — the subsequent read reports the
-  // precise failure, so handlers need only one error path.
+  // Ready-bit mask passed to handlers. EPOLLERR / EPOLLHUP are folded into
+  // kReadable — the subsequent read reports the precise failure, so the
+  // common read path needs only one error branch — AND surfaced as
+  // kHangup, because epoll reports them even for an fd whose interest was
+  // dropped to 0 (they are level-triggered and unmaskable). A handler that
+  // is deliberately not reading (a gate-blocked connection) must check
+  // kHangup and tear the fd down, or the dead peer re-fires the event
+  // forever and the loop busy-spins.
   static constexpr std::uint32_t kReadable = 1u << 0;
   static constexpr std::uint32_t kWritable = 1u << 1;
+  static constexpr std::uint32_t kHangup = 1u << 2;
 
   using Handler = std::function<void(std::uint32_t ready)>;
 

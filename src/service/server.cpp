@@ -10,8 +10,8 @@
 
 namespace paramount::service {
 
-bool ParamountServer::start(std::string* error) {
-  listener_ = listen_unix(options_.socket_path, options_.backlog, error);
+bool ParamountServer::start(std::string* error, ListenUnixError* why) {
+  listener_ = listen_unix(options_.socket_path, options_.backlog, error, why);
   if (!listener_.valid()) return false;
   // relaxed: stopping_ is a plain shutdown flag; the accept thread is
   // unblocked by the listener shutdown() syscall, not by this store, so no

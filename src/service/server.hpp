@@ -65,8 +65,11 @@ class ParamountServer {
   ParamountServer(const ParamountServer&) = delete;
   ParamountServer& operator=(const ParamountServer&) = delete;
 
-  // Binds and starts accepting. Returns false with *error on bind failure.
-  bool start(std::string* error);
+  // Binds and starts accepting. Returns false with *error on bind failure;
+  // *why carries the typed listen_unix reason (kLiveListener when another
+  // daemon already owns the socket — paramountd exits 3 on it, for either
+  // front end).
+  bool start(std::string* error, ListenUnixError* why = nullptr);
 
   // Idempotent: stops accepting, unblocks and joins every session thread.
   void stop();

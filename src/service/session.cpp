@@ -197,7 +197,7 @@ SessionCore::Disposition SessionCore::submit_pending() {
     // Block here (the session thread stops reading its socket; the kernel
     // buffer pushes back on the client).
     gate_->acquire(event_cost_);
-  } else if (!gate_->acquire_or_notify(event_cost_, gate_ready_)) {
+  } else if (!gate_->acquire_or_notify(event_cost_, gate_ready_, this)) {
     // Stays stashed; the owner stops reading this session until the gate's
     // release fires gate_ready_ and retry_pending() wins admission.
     ++result_.submit_stalls;
@@ -296,7 +296,11 @@ void SessionCore::finish() {
   finished_ = true;
   state_ = State::kClosed;
   // A stashed-but-never-admitted event was never charged or committed;
-  // dropping it leaks nothing.
+  // dropping it leaks nothing. Retract any still-queued gate registration
+  // too: on a shared tenant gate a dead session's waiter would otherwise
+  // consume a wake-up without ever re-acquiring (and a big one at the
+  // head of the FIFO would hold up smaller live waiters behind it).
+  if (gate_ != nullptr) gate_->cancel(this);
   pending_.reset();
   if (detector_ != nullptr) {
     // Whatever ended the session, retire in-flight intervals: drain() waits

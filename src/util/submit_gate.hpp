@@ -22,6 +22,15 @@
 //     "pause this connection's reads, resume when quota frees" hook.
 // One gate may be shared by many sessions (per-tenant quotas): released
 // budget wakes both blocked acquirers and queued notifiers, FIFO-first.
+//
+// A queued notifier only ever RE-ATTEMPTS admission — it may not win, and
+// (when its session died between queueing and firing) it may not even try.
+// release() therefore wakes every FIFO-prefix waiter that currently fits
+// rather than exactly one: a single wake handed to a waiter that never
+// re-acquires would otherwise be lost, stranding the waiters behind it
+// forever once nothing is left in flight to trigger another release.
+// Owners should still cancel() their queued waiter on teardown so dead
+// sessions don't sit at the head of the queue blocking bigger releases.
 #pragma once
 
 #include <cstddef>
@@ -76,8 +85,11 @@ class SubmitGate {
   // and returns false WITHOUT charging. The callback re-attempts admission
   // itself (capacity may have been taken again by the time it runs); it is
   // invoked outside the gate lock and must not re-enter the gate
-  // synchronously in a way that blocks.
-  bool acquire_or_notify(std::size_t bytes, std::function<void()> notify) {
+  // synchronously in a way that blocks. `owner` tags the queued waiter for
+  // cancel() — pass the session (or any stable address) that would
+  // re-attempt, so its teardown can retract the registration.
+  bool acquire_or_notify(std::size_t bytes, std::function<void()> notify,
+                         const void* owner = nullptr) {
     if (budget_ == 0) return true;
     MutexLock lock(mutex_);
     if (in_flight_ == 0 || in_flight_ + bytes <= budget_) {
@@ -85,14 +97,35 @@ class SubmitGate {
       return true;
     }
     ++stalls_;
-    waiters_.push_back({bytes, std::move(notify)});
+    waiters_.push_back({bytes, std::move(notify), owner});
     return false;
+  }
+
+  // Drops every queued waiter tagged with `owner` without invoking it.
+  // Owners MUST call this on teardown after a refused acquire_or_notify:
+  // a dead waiter left queued never re-acquires, and while the cascading
+  // release() keeps it from stranding waiters behind it, a big dead waiter
+  // at the head would still gate smaller releases until in-flight hits 0.
+  // A notify already popped by a concurrent release() may still run after
+  // cancel() returns; it must no-op safely (the epoll server's does — the
+  // posted retry finds the connection gone).
+  void cancel(const void* owner) {
+    if (budget_ == 0 || owner == nullptr) return;
+    MutexLock lock(mutex_);
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+      it = it->owner == owner ? waiters_.erase(it) : std::next(it);
+    }
   }
 
   // Returns budget charged by a completed submission and wakes waiters:
   // blocked acquire()s via the condition variable, queued notifiers by
   // popping every FIFO-prefix entry that now fits (stop at the first that
   // does not — head-of-line order keeps one big waiter from starving).
+  // Cascading over the whole fitting prefix (not just the head) is what
+  // makes a wake handed to a waiter that never re-acquires — a session
+  // torn down with its registration still queued — harmless: the waiters
+  // behind it were woken too, and when the last charge retires the
+  // in_flight_ == 0 arm drains the entire queue.
   void release(std::size_t bytes) {
     if (budget_ == 0) return;
     std::vector<std::function<void()>> ready;
@@ -105,11 +138,6 @@ class SubmitGate {
               in_flight_ + waiters_.front().bytes <= budget_)) {
         ready.push_back(std::move(waiters_.front().notify));
         waiters_.pop_front();
-        // The waiter re-acquires for itself; popping more than one is only
-        // fair when the budget would admit them side by side, which the
-        // in_flight_ check above cannot know — wake one per fitting slot
-        // and let re-registration handle the rest.
-        break;
       }
     }
     cv_.notify_all();
@@ -134,6 +162,7 @@ class SubmitGate {
   struct Waiter {
     std::size_t bytes;
     std::function<void()> notify;
+    const void* owner;  // cancel() key; null = uncancellable
   };
 
   const std::size_t budget_;  // immutable after construction; 0 = unbounded

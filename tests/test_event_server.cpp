@@ -17,6 +17,7 @@
 #include "service/epoll_server.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -25,11 +26,13 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/paramount.hpp"
 #include "poset/poset_builder.hpp"
 #include "service/frame.hpp"
+#include "util/sync.hpp"
 #include "workloads/event_stream.hpp"
 
 namespace paramount::service {
@@ -604,6 +607,137 @@ TEST_F(EventServerTest, TcpFuzzedPayloadsAnswerTypedErrors) {
     }
   }
   await_completed(1);  // at least the established-session rounds completed
+  EXPECT_EQ(server_->stats().leaked_pins, 0u);
+}
+
+// ---- hangup surfacing and paused-reads teardown ----
+
+// EPOLLERR/EPOLLHUP are level-triggered and unmaskable: epoll reports them
+// even for an fd whose interest was dropped to 0 (exactly what the server
+// does to a gate-blocked connection). The loop must surface them as
+// kHangup so such a handler can tear the fd down instead of ignoring an
+// event that will re-fire forever.
+TEST(EventLoopHangup, SurfacedToZeroInterestFds) {
+  int raw[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, raw), 0);
+  UniqueFd ours(raw[0]);
+  UniqueFd theirs(raw[1]);
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid()) << loop.error();
+  Mutex mutex;
+  CondVar cv;
+  std::uint32_t seen = 0;
+  bool fired = false;
+  // Interest 0: the paused-connection shape. Only ERR/HUP can arrive.
+  ASSERT_TRUE(loop.add(ours.get(), 0, [&](std::uint32_t ready) {
+    MutexLock lock(mutex);
+    seen = ready;
+    fired = true;
+    cv.notify_all();
+  }));
+  std::thread runner([&] { loop.run(); });
+  theirs.reset();  // peer dies
+  {
+    MutexLock lock(mutex);
+    while (!fired) {
+      ASSERT_TRUE(cv.wait_for(mutex, kWait)) << "hangup never surfaced";
+    }
+  }
+  loop.stop();
+  runner.join();
+  EXPECT_NE(seen & EventLoop::kHangup, 0u);
+  // Still folded into kReadable too, for the common read-error path.
+  EXPECT_NE(seen & EventLoop::kReadable, 0u);
+}
+
+// A peer that dies by RST while the server has the connection's reads
+// paused under submit backpressure must still be torn down (pins released,
+// session finished) — the regression was a reactor that busy-spun on the
+// unmaskable ERR/HUP event forever because the blocked connection never
+// read and never tore down.
+TEST_F(EventServerTest, TcpAbortWhileBackpressuredTearsConnectionDown) {
+  EpollServer::Options options;
+  options.submit_budget_bytes = 1;  // passage rule only: reads pause often
+  start_server(std::move(options), Endpoint::Kind::kTcp);
+  {
+    FrameChannel channel = connect();
+    HelloBody h;
+    h.num_threads = 4;
+    h.async_workers = 2;
+    h.gc_every = 8;  // pins active on in-flight intervals
+    hello(channel, h);
+    const SyntheticEventStream::Params params = oracle_params(31);
+    SyntheticEventStream stream(params);
+    std::vector<VectorClock> prev(4, VectorClock(4));
+    stream_events(channel, stream, prev, 400);
+    // Die by RST, not FIN: SO_LINGER 0 discards the server's unread data
+    // and raises EPOLLERR, hitting the paused-reads teardown whenever the
+    // 1-byte budget had the connection blocked at that moment.
+    struct linger lg = {1, 0};
+    ASSERT_EQ(::setsockopt(channel.fd(), SOL_SOCKET, SO_LINGER, &lg,
+                           sizeof(lg)),
+              0);
+  }
+  await_completed(1);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.sessions_completed, 1u);
+  EXPECT_EQ(stats.clean_shutdowns, 0u);
+  EXPECT_EQ(stats.leaked_pins, 0u);
+}
+
+// ---- rejected-stream flood ----
+
+// At --max-sessions every new stream id costs the server a tracked
+// rejected_streams entry plus an Error frame. The set is capped: a client
+// spraying distinct over-limit stream ids gets its connection closed after
+// a bounded number of typed refusals instead of growing server memory one
+// entry per id from a single connection.
+TEST_F(EventServerTest, RejectedStreamFloodClosesConnection) {
+  EpollServer::Options options;
+  options.max_sessions = 1;
+  start_server(std::move(options));
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  hello(channel, h, 1);  // occupies the only session slot
+  constexpr std::uint32_t kFlood = 64;  // comfortably past the cap
+  bool cut_off_mid_flood = false;
+  for (std::uint32_t s = 0; s < kFlood; ++s) {
+    // A failed write means the server already dropped us — the cap at
+    // work; keep going only while the pipe is up.
+    if (!channel.write_frame(encode_hello(h), 2 + s)) {
+      cut_off_mid_flood = true;
+      break;
+    }
+  }
+  // Guarantees eventual termination even on a server without the cap, so
+  // the pre-fix failure mode is a bounded assertion failure, not a hang.
+  if (!cut_off_mid_flood) channel.shutdown_write();
+  std::vector<std::uint8_t> payload;
+  std::uint32_t stream = 0;
+  std::uint32_t errors = 0;
+  while (true) {
+    const ReadStatus status = channel.read_frame(&payload, &stream);
+    if (status != ReadStatus::kFrame) {
+      // The cutoff is abrupt by design (the client is hostile): the server
+      // closes with flood frames still unread, so the client may see a
+      // reset (kError) rather than an orderly EOF.
+      EXPECT_TRUE(status == ReadStatus::kEof || status == ReadStatus::kError)
+          << to_string(status);
+      break;
+    }
+    DecodedFrame frame;
+    const auto err = decode_frame(payload, &frame);
+    ASSERT_FALSE(err.has_value()) << (err ? err->message : "");
+    ASSERT_EQ(frame.op, Op::kError);
+    EXPECT_EQ(frame.error.code, ErrorCode::kSessionLimit);
+    ++errors;
+  }
+  // Pre-fix: one Error per sprayed id (= kFlood) and an orderly EOF only
+  // after serving the full flood. Post-fix the connection dies at the cap,
+  // well short of it (the reset may even discard buffered Errors).
+  EXPECT_LT(errors, kFlood);
+  await_completed(1);  // stream 1 went down with the connection
   EXPECT_EQ(server_->stats().leaked_pins, 0u);
 }
 

@@ -697,6 +697,30 @@ TEST_F(ServiceTest, SessionThreadHandlesAreReapedNotAccumulated) {
   EXPECT_EQ(stats.leaked_pins, 0u);
 }
 
+// The threads front end shares the epoll front end's typed live-listener
+// refusal: a second ParamountServer on the same path must fail with
+// kLiveListener (paramountd maps it to exit 3 for either front end), and
+// the live server's socket must be left untouched.
+TEST_F(ServiceTest, SecondServerGetsTypedLiveListenerRefusal) {
+  start_server();
+  ParamountServer::Options options;
+  options.socket_path = server_->socket_path();
+  ParamountServer second(std::move(options));
+  std::string error;
+  ListenUnixError why = ListenUnixError::kNone;
+  EXPECT_FALSE(second.start(&error, &why));
+  EXPECT_EQ(why, ListenUnixError::kLiveListener) << error;
+  // The refused instance did not steal the socket: the live server still
+  // answers on it.
+  FrameChannel channel = connect();
+  HelloBody h;
+  h.num_threads = 2;
+  hello(channel, h);
+  ASSERT_TRUE(channel.write_frame(encode_shutdown()));
+  EXPECT_EQ(read_frame(channel).op, Op::kGoodbye);
+  await_completed(1);
+}
+
 // Window GC keeps the session's poset at a plateau: the final resident
 // footprint after teardown-drain must be far below the unwindowed footprint
 // of the same stream, and pins must all be gone.

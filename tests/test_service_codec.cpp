@@ -330,8 +330,10 @@ TEST(SubmitGate, ZeroBudgetDisablesTheGate) {
 }
 
 // The event loop's non-blocking admission: a refused acquire_or_notify
-// queues the notify WITHOUT charging, and release() invokes exactly one
-// fitting waiter's callback (the waiter re-attempts its own admission).
+// queues the notify WITHOUT charging, and release() wakes every FIFO-prefix
+// waiter that now fits, in order (each re-attempts its own admission —
+// a wake is only an invitation, so handing out exactly one would lose it
+// whenever the woken waiter never re-acquires).
 TEST(SubmitGate, AcquireOrNotifyQueuesWithoutChargingAndWakesInFifoOrder) {
   SubmitGate gate(100);
   EXPECT_TRUE(gate.acquire_or_notify(80, [] {}));  // fits: charged
@@ -345,17 +347,79 @@ TEST(SubmitGate, AcquireOrNotifyQueuesWithoutChargingAndWakesInFifoOrder) {
   EXPECT_EQ(gate.stalls(), 2u);
   EXPECT_TRUE(fired.empty());
 
-  // One release, one wake — the FIFO head, not both waiters.
+  // The release empties the gate, so the whole queue fits: both waiters
+  // wake, FIFO order.
   gate.release(80);
-  ASSERT_EQ(fired.size(), 1u);
-  EXPECT_EQ(fired[0], 1);
-
-  // The woken waiter re-attempts; it now fits and charges.
-  EXPECT_TRUE(gate.acquire_or_notify(50, [] {}));
-  EXPECT_EQ(gate.in_flight_bytes(), 50u);
-  gate.release(50);
   ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
   EXPECT_EQ(fired[1], 2);
+
+  // The woken waiters re-attempt for themselves; both now fit.
+  EXPECT_TRUE(gate.acquire_or_notify(50, [] {}));
+  EXPECT_TRUE(gate.acquire_or_notify(30, [] {}));
+  EXPECT_EQ(gate.in_flight_bytes(), 80u);
+}
+
+// Head-of-line order survives the cascade: release() stops at the first
+// waiter that does not fit, so a big waiter is never starved by small ones
+// queued behind it.
+TEST(SubmitGate, ReleaseCascadeStopsAtFirstNonFittingWaiter) {
+  SubmitGate gate(100);
+  EXPECT_TRUE(gate.acquire_or_notify(98, [] {}));
+  std::vector<int> fired;
+  EXPECT_FALSE(gate.acquire_or_notify(60, [&] { fired.push_back(1); }));
+  EXPECT_FALSE(gate.acquire_or_notify(5, [&] { fired.push_back(2); }));
+  // 98 → 78 in flight: the 60-byte head still does not fit, so the 5-byte
+  // waiter behind it (which now would fit) must wait its turn.
+  gate.release(20);
+  EXPECT_TRUE(fired.empty());
+  // 78 → 38: now the head fits (38+60 ≤ 100), and so does the 5 behind it.
+  gate.release(40);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2);
+}
+
+// The lost-wakeup regression: a waiter whose session was torn down between
+// queueing and firing consumes its wake without re-acquiring. With a
+// wake-exactly-one release, the last in-flight charge retiring woke only
+// that dead waiter and everyone behind it stalled forever; the cascade
+// must wake the live waiter too.
+TEST(SubmitGate, DeadHeadWaiterDoesNotStrandWaitersBehindIt) {
+  SubmitGate gate(100);
+  EXPECT_TRUE(gate.acquire_or_notify(100, [] {}));
+  int dead_fired = 0;  // the torn-down session: notified, never re-acquires
+  bool live_admitted = false;
+  EXPECT_FALSE(gate.acquire_or_notify(40, [&] { ++dead_fired; }));
+  EXPECT_FALSE(gate.acquire_or_notify(
+      40, [&] { live_admitted = gate.acquire_or_notify(40, [] {}); }));
+  // The ONLY charge retires: no further release will ever come.
+  gate.release(100);
+  EXPECT_EQ(dead_fired, 1);
+  EXPECT_TRUE(live_admitted);
+  EXPECT_EQ(gate.in_flight_bytes(), 40u);
+}
+
+// cancel() retracts a queued registration: a finishing session's waiter
+// must neither fire later nor occupy the FIFO head gating live waiters.
+TEST(SubmitGate, CancelledWaiterNeverFiresAndFreesTheQueueHead) {
+  SubmitGate gate(100);
+  int owner = 0;  // any stable address works as the cancel key
+  EXPECT_TRUE(gate.acquire_or_notify(60, [] {}));
+  bool cancelled_fired = false;
+  bool live_fired = false;
+  // The big dead waiter would not fit after a partial release and, queued
+  // at the head, would gate the small live waiter behind it.
+  EXPECT_FALSE(gate.acquire_or_notify(
+      90, [&] { cancelled_fired = true; }, &owner));
+  EXPECT_FALSE(gate.acquire_or_notify(50, [&] { live_fired = true; }));
+  gate.cancel(&owner);
+  gate.release(20);  // 60 → 40 in flight: 50 fits, 90 would not have
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_TRUE(live_fired);
+  // Cancelling an owner with nothing queued is a no-op.
+  gate.cancel(&owner);
+  gate.cancel(nullptr);
 }
 
 TEST(SubmitGate, AcquireOrNotifyPassageRuleAdmitsOversizedWhenIdle) {

@@ -72,9 +72,12 @@ int main(int argc, char** argv) {
     options.submit_budget_bytes = config.submit_budget_bytes;
     options.eviction_alert_threshold = config.eviction_alert_threshold;
     ParamountServer server(std::move(options));
-    if (!server.start(&error)) {
+    ListenUnixError why = ListenUnixError::kNone;
+    if (!server.start(&error, &why)) {
       std::fprintf(stderr, "paramountd: %s\n", error.c_str());
-      return 1;
+      // Same typed-refusal contract as the epoll front end: exit 3 when a
+      // live daemon already owns the socket instead of stealing it.
+      return why == ListenUnixError::kLiveListener ? 3 : 1;
     }
     std::printf("paramountd: listening on %s (front-end threads, "
                 "max-sessions %u, submit-budget %zu bytes)\n",
