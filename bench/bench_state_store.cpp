@@ -1,0 +1,243 @@
+// bench_state_store — the memory case for the shared state store
+// (src/util/state_store.hpp): N resident enumerations of one lattice, each
+// holding a private visited set, versus all N sharing one store.
+//
+// Scenarios:
+//   * "sessions" — the PR-8 service shape: N sessions enumerate the same
+//     state space. Private mode pays N × (states × per-frontier hashset
+//     bytes), measured once per session by the enumerators' own
+//     MemoryMeter accounting (the DFS subroutine's visited set holds every
+//     state, the worst — and the seed — case). Shared mode interns the
+//     lattice once: the store's packed arena plus the one winning
+//     traversal's stack; later sessions dedup to zero additional bytes.
+//     The N=8 row is the acceptance number: private/shared must be ≥3×,
+//     and the process exits 1 if it is not — the bench doubles as a gate.
+//   * "paramount" — one 8-worker ParaMount run over the interval partition:
+//     private BFS level sets versus the store-backed level traversal
+//     (current level as raw 4-byte ids). Reported for the working-set
+//     comparison; the store additionally retains the whole lattice, which
+//     is the point — it is the shareable artifact.
+//
+// Every mode must visit exactly the same number of states; any divergence
+// exits 1, so the CI job is also a correctness gate.
+//
+// Output: BENCH_store.json (committed at the repo root; regenerate with
+//   build/bench/bench_state_store --out=BENCH_store.json
+// from a Release build on a quiet machine).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/paramount.hpp"
+#include "enumeration/dispatch.hpp"
+#include "obs/json_writer.hpp"
+#include "poset/poset_builder.hpp"
+#include "util/cli.hpp"
+#include "util/mem_meter.hpp"
+#include "util/timer.hpp"
+
+using namespace paramount;
+
+namespace {
+
+// k independent chains of length L: exactly (L+1)^k consistent states — a
+// lattice whose size is dialed precisely, with no message edges to skew the
+// level widths.
+Poset make_chains(std::size_t threads, std::size_t length) {
+  PosetBuilder builder(threads);
+  for (ThreadId t = 0; t < threads; ++t) {
+    for (std::size_t i = 0; i < length; ++i) builder.add_event(t);
+  }
+  return std::move(builder).build();
+}
+
+struct SessionRow {
+  std::size_t sessions = 0;
+  std::uint64_t private_bytes = 0;  // N sessions × private visited set
+  std::uint64_t shared_bytes = 0;   // one store + the winning stack
+  double ratio = 0.0;
+};
+
+std::uint64_t count_states(const Poset& poset, EnumAlgorithm algorithm,
+                           MemoryMeter* meter, StateStore* store) {
+  std::uint64_t states = 0;
+  enumerate_all(algorithm, poset, [&](const Frontier&) { ++states; }, meter,
+                store);
+  return states;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "bench_state_store — N resident enumerations, private visited sets vs "
+      "one shared lock-free state store; exits 1 if counts diverge or the "
+      "8-session memory ratio drops below 3x.");
+  flags.add_string("out", "BENCH_store.json", "output JSON path");
+  flags.add_bool("quick", false, "CI-sized lattice (15.6k states vs 262k)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const bool quick = flags.get_bool("quick");
+  const std::size_t kThreads = 6;
+  const std::size_t kChain = quick ? 4 : 7;  // (L+1)^6 states
+  const Poset poset = make_chains(kThreads, kChain);
+
+  std::uint64_t expected = 1;
+  for (std::size_t i = 0; i < kThreads; ++i) expected *= kChain + 1;
+
+  bool failed = false;
+  const auto check_count = [&](const char* what, std::uint64_t got) {
+    if (got != expected) {
+      std::fprintf(stderr,
+                   "DIVERGENCE: %s visited %llu states, expected %llu\n",
+                   what, static_cast<unsigned long long>(got),
+                   static_cast<unsigned long long>(expected));
+      failed = true;
+    }
+  };
+
+  // ---- sessions: N private sweeps vs N sweeps sharing one store ----
+
+  // One private session's peak: the DFS visited set holds the full lattice.
+  MemoryMeter private_meter;
+  WallTimer private_timer;
+  check_count("private dfs",
+              count_states(poset, EnumAlgorithm::kDfs, &private_meter,
+                           nullptr));
+  const double private_seconds = private_timer.elapsed_seconds();
+  const std::uint64_t private_peak_one = private_meter.peak_bytes();
+
+  // Shared sessions: the first traversal interns everything, the rest dedup
+  // to zero visits (counting semantics) and zero additional resident bytes.
+  StateStore store(kThreads, 2 * expected, 2 * expected);
+  MemoryMeter shared_meter;
+  WallTimer shared_timer;
+  std::uint64_t shared_total = 0;
+  for (int session = 0; session < 8; ++session) {
+    shared_total +=
+        count_states(poset, EnumAlgorithm::kDfs, &shared_meter, &store);
+  }
+  const double shared_seconds = shared_timer.elapsed_seconds();
+  check_count("8 shared dfs sessions (deduped union)", shared_total);
+  if (store.size() != expected) {
+    std::fprintf(stderr, "DIVERGENCE: store interned %zu states\n",
+                 store.size());
+    failed = true;
+  }
+  const std::uint64_t shared_resident =
+      store.resident_bytes() + shared_meter.peak_bytes();
+
+  std::vector<SessionRow> rows;
+  for (const std::size_t sessions : {1, 2, 4, 8}) {
+    SessionRow row;
+    row.sessions = sessions;
+    row.private_bytes = sessions * private_peak_one;
+    row.shared_bytes = shared_resident;  // the plateau: independent of N
+    row.ratio = static_cast<double>(row.private_bytes) /
+                static_cast<double>(row.shared_bytes);
+    std::printf(
+        "%zu sessions: private %8.2f MiB   shared %8.2f MiB   ratio %5.2fx\n",
+        sessions, static_cast<double>(row.private_bytes) / (1 << 20),
+        static_cast<double>(row.shared_bytes) / (1 << 20), row.ratio);
+    rows.push_back(row);
+  }
+  std::printf("one private sweep %.3fs, eight shared sweeps %.3fs\n",
+              private_seconds, shared_seconds);
+
+  const double ratio_at_8 = rows.back().ratio;
+  if (ratio_at_8 < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: 8-session memory ratio %.2fx is below the 3x gate\n",
+                 ratio_at_8);
+    failed = true;
+  }
+
+  // ---- paramount: one 8-worker run, private BFS vs store-backed levels ----
+
+  ParamountOptions options;
+  options.num_workers = 8;
+  options.subroutine = EnumAlgorithm::kBfs;
+  MemoryMeter bfs_meter;
+  options.meter = &bfs_meter;
+  const ParamountResult bfs_run =
+      enumerate_paramount(poset, options, [](const Frontier&) {});
+  check_count("paramount bfs", bfs_run.states);
+
+  StateStore pm_store(kThreads, 2 * expected, 2 * expected);
+  ParamountOptions level_options;
+  level_options.num_workers = 8;
+  level_options.subroutine = EnumAlgorithm::kLevel;
+  MemoryMeter level_meter;
+  level_options.meter = &level_meter;
+  level_options.store = &pm_store;
+  const ParamountResult level_run =
+      enumerate_paramount(poset, level_options, [](const Frontier&) {});
+  check_count("paramount level", level_run.states);
+
+  const StateStore::Stats store_stats = pm_store.stats();
+  std::printf(
+      "paramount x8: bfs level-set peak %.2f MiB, level id peak %.2f MiB "
+      "(+ %.2f MiB store), load %.3f, mean probe %.2f\n",
+      static_cast<double>(bfs_meter.peak_bytes()) / (1 << 20),
+      static_cast<double>(level_meter.peak_bytes()) / (1 << 20),
+      static_cast<double>(store_stats.resident_bytes) / (1 << 20),
+      pm_store.load_factor(),
+      store_stats.probe_count == 0
+          ? 0.0
+          : static_cast<double>(store_stats.probe_sum) /
+                static_cast<double>(store_stats.probe_count));
+
+  // ---- JSON ----
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("state_store");
+  w.key("quick").value(quick);
+  w.key("poset").begin_object();
+  w.key("threads").value(static_cast<std::uint64_t>(kThreads));
+  w.key("chain").value(static_cast<std::uint64_t>(kChain));
+  w.key("states").value(expected);
+  w.end_object();
+  w.key("sessions").begin_array();
+  for (const SessionRow& row : rows) {
+    w.begin_object();
+    w.key("sessions").value(static_cast<std::uint64_t>(row.sessions));
+    w.key("private_bytes").value(row.private_bytes);
+    w.key("shared_bytes").value(row.shared_bytes);
+    w.key("ratio").value(row.ratio);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("paramount").begin_object();
+  w.key("workers").value(std::uint64_t{8});
+  w.key("states").value(bfs_run.states);
+  w.key("bfs_peak_bytes").value(bfs_meter.peak_bytes());
+  w.key("level_peak_bytes").value(level_meter.peak_bytes());
+  w.key("store_resident_bytes")
+      .value(static_cast<std::uint64_t>(store_stats.resident_bytes));
+  w.end_object();
+  w.key("store").begin_object();
+  w.key("load_factor").value(pm_store.load_factor());
+  w.key("mean_probe")
+      .value(store_stats.probe_count == 0
+                 ? 0.0
+                 : static_cast<double>(store_stats.probe_sum) /
+                       static_cast<double>(store_stats.probe_count));
+  w.key("full_rejections").value(store_stats.full_rejections);
+  w.end_object();
+  w.end_object();
+
+  const std::string path = flags.get_string("out");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const std::string json = std::move(w).take();
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  return failed ? 1 : 0;
+}

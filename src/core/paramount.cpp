@@ -135,7 +135,8 @@ ParamountResult enumerate_paramount(const Poset& poset,
     }
     const EnumStats stats = enumerate_box(
         options.subroutine, poset, iv.gmin, iv.gbnd,
-        [&](const Frontier& state) { visit(state); }, options.meter);
+        [&](const Frontier& state) { visit(state); }, options.meter,
+        options.store);
     states += stats.states;
     // relaxed: monotone counter; the final load happens after the workers
     // join, which orders every contribution.
@@ -298,7 +299,8 @@ ParamountResult enumerate_paramount_streaming(
     }
     const EnumStats stats = enumerate_box(
         options.subroutine, poset, gmin, claimed.gbnd,
-        [&](const Frontier& state) { visit(state); }, options.meter);
+        [&](const Frontier& state) { visit(state); }, options.meter,
+        options.store);
     states += stats.states;
     // relaxed: monotone counter, read after the joins; see the offline driver.
     total_states.fetch_add(states, std::memory_order_relaxed);

@@ -5,14 +5,16 @@
 #include <vector>
 
 #include "core/paramount.hpp"
+#include "enumeration/level_enumerator.hpp"
 #include "poset/global_state.hpp"
+#include "util/state_store.hpp"
 #include "util/sync.hpp"
 
 namespace paramount {
 
 ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
                                std::size_t num_workers,
-                               obs::Telemetry* telemetry) {
+                               obs::Telemetry* telemetry, StateStore* store) {
   ModalityResult result;
   result.witness = poset.empty_frontier();
 
@@ -27,6 +29,7 @@ ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
   ParamountOptions options;
   options.num_workers = num_workers;
   options.telemetry = telemetry;
+  options.store = store;
   enumerate_paramount(poset, options, [&](const Frontier& state) {
     // No early-exit hook in the driver: once found, skip the (possibly
     // expensive) predicate and fall through cheaply.
@@ -56,8 +59,55 @@ ModalityResult detect_possibly(const Poset& poset, StatePredicate predicate,
   return result;
 }
 
-ModalityResult detect_definitely(const Poset& poset,
-                                 StatePredicate predicate) {
+namespace {
+
+// The id-based variant of the ¬φ sweep: levels hold 4-byte StateStore ids,
+// states are reconstructed from the store's arena, and interning dedups every
+// successor — φ-states included, so each state's predicate runs exactly once
+// (the private sweep re-evaluates φ-states once per same-level parent).
+ModalityResult detect_definitely_store(const Poset& poset,
+                                       StatePredicate predicate,
+                                       StateStore& store,
+                                       const Frontier& initial,
+                                       const Frontier& final_state,
+                                       ModalityResult result) {
+  const std::size_t n = poset.num_threads();
+  std::vector<StateStore::StateId> level{
+      detail::intern_or_throw(store, initial).id};
+  Frontier state;  // scratch: reconstructed per visit
+  while (!level.empty()) {
+    std::vector<StateStore::StateId> next_level;
+    for (const StateStore::StateId id : level) {
+      store.load(id, &state);
+      for (ThreadId t = 0; t < n; ++t) {
+        if (!event_enabled(poset, state, t)) continue;
+        state[t] += 1;
+        const StateStore::InsertResult r =
+            detail::intern_or_throw(store, state);
+        if (r.inserted) {
+          ++result.states_explored;
+          if (!predicate(state)) {
+            if (state == final_state) {
+              result.holds = false;  // reached the top avoiding φ entirely
+              result.witness = state;
+              return result;
+            }
+            next_level.push_back(r.id);
+          }
+        }
+        state[t] -= 1;
+      }
+    }
+    level = std::move(next_level);
+  }
+  result.holds = true;
+  return result;
+}
+
+}  // namespace
+
+ModalityResult detect_definitely(const Poset& poset, StatePredicate predicate,
+                                 StateStore* store) {
   ModalityResult result;
   result.witness = poset.empty_frontier();
 
@@ -76,6 +126,11 @@ ModalityResult detect_definitely(const Poset& poset,
     result.holds = false;  // the only path is the single ¬φ state
     result.witness = initial;
     return result;
+  }
+
+  if (store != nullptr) {
+    return detect_definitely_store(poset, predicate, *store, initial,
+                                   final_state, std::move(result));
   }
 
   std::vector<Frontier> level{initial};

@@ -1,0 +1,117 @@
+// Space-efficient level (breadth-first) traversal over interned state ids,
+// after Chauhan & Garg's space-efficient BFS lattice enumeration
+// (arXiv:1707.07788; see PAPERS.md).
+//
+// The classic BFS working set is two levels of frontier *objects* — the
+// exponential term that makes the paper's RV-runtime baseline run out of
+// memory (Table 1). This traversal keeps only the current level as a vector
+// of 32-bit StateStore ids plus the box's per-thread clock floors (lo/hi):
+// each visited state is *reconstructed* from the store's packed payload
+// arena, and successors are re-derived from the poset
+// (event_enabled) rather than stored — the reconstruction rule. Working set
+// beyond the shared store: 4 bytes per state per live level, two levels
+// deep, plus one scratch frontier.
+//
+// Dedup is the store's exactly-once `inserted` bit. Ranks strictly increase
+// level to level, so within one traversal global interning coincides with
+// per-level dedup; across traversals sharing one store, previously interned
+// states are not re-visited (counting-dedup semantics — disjoint ParaMount
+// intervals never trigger this, repeated runs over one store do).
+//
+// Template over PosetLike so the same code runs over offline Posets and
+// bounded prefixes of the concurrent OnlinePoset (under an EnumGuard pin,
+// every index in [lo, hi] stays resident for the traversal's duration).
+#pragma once
+
+#include <vector>
+
+#include "enumeration/bfs_enumerator.hpp"
+#include "enumeration/enumerator.hpp"
+#include "poset/global_state.hpp"
+#include "util/state_store.hpp"
+
+namespace paramount {
+
+// Enumerates every consistent state G with lo ≤ G ≤ hi exactly once, in
+// level (rank) order, interning each into `store`. Preconditions: lo and hi
+// are consistent and lo ≤ hi. Throws StateStoreFull when the store's typed
+// kFull result surfaces (never aborts; RAII pins unwind).
+template <typename PosetT>
+EnumStats enumerate_level(const PosetT& poset, const Frontier& lo,
+                          const Frontier& hi, StateVisitor visit,
+                          StateStore& store, MemoryMeter* meter = nullptr) {
+  PM_CHECK_MSG(lo.leq(hi), "enumerate_level: lo must be <= hi");
+  PM_DCHECK(poset.is_consistent(lo));
+  PM_DCHECK(poset.is_consistent(hi));
+
+  const std::size_t n = poset.num_threads();
+  EnumStats stats;
+
+  const StateStore::InsertResult first = detail::intern_or_throw(store, lo);
+  if (!first.inserted) {
+    return stats;  // already owned by an earlier traversal of this store
+  }
+  visit(lo);
+  ++stats.states;
+
+  std::vector<StateStore::StateId> level{first.id};
+  Frontier state;  // scratch: reconstructed from the store per visit
+  std::uint64_t charged = 0;
+  auto charge_ids = [&](std::size_t count) {
+    if (meter != nullptr) {
+      const std::uint64_t bytes = count * sizeof(StateStore::StateId);
+      meter->charge(bytes);
+      charged += bytes;
+    }
+  };
+
+  try {
+    charge_ids(1);
+    while (!level.empty()) {
+      std::vector<StateStore::StateId> next_level;
+      for (const StateStore::StateId id : level) {
+        store.load(id, &state);
+        for (ThreadId t = 0; t < n; ++t) {
+          if (state[t] + 1 > hi[t] || !event_enabled(poset, state, t)) {
+            continue;
+          }
+          state[t] += 1;  // reconstruct the successor in place...
+          const StateStore::InsertResult r =
+              detail::intern_or_throw(store, state);
+          if (r.inserted) {
+            visit(state);
+            ++stats.states;
+            next_level.push_back(r.id);
+            charge_ids(1);
+          }
+          state[t] -= 1;  // ...and restore the parent for the next thread
+        }
+      }
+      if (meter != nullptr) {
+        const std::uint64_t bytes =
+            level.size() * sizeof(StateStore::StateId);
+        meter->release(bytes);
+        charged -= bytes;
+      }
+      level = std::move(next_level);
+    }
+  } catch (...) {
+    if (meter != nullptr) meter->release(charged);
+    throw;
+  }
+  if (meter != nullptr) {
+    meter->release(charged);
+    stats.peak_bytes = meter->peak_bytes();
+  }
+  return stats;
+}
+
+// Full-poset convenience (offline Poset only: needs full_frontier()).
+template <typename PosetT>
+EnumStats enumerate_level(const PosetT& poset, StateVisitor visit,
+                          StateStore& store, MemoryMeter* meter = nullptr) {
+  return enumerate_level(poset, poset.empty_frontier(), poset.full_frontier(),
+                         visit, store, meter);
+}
+
+}  // namespace paramount

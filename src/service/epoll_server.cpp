@@ -237,6 +237,7 @@ SessionCore* EpollServer::open_stream(const std::shared_ptr<Connection>& conn,
   SessionCore::Limits limits;
   limits.submit_budget_bytes = options_.submit_budget_bytes;
   limits.eviction_alert_threshold = options_.eviction_alert_threshold;
+  limits.state_store_budget_bytes = options_.state_store_budget_bytes;
   // The send callback holds a raw Connection pointer: the core is owned by
   // conn->streams, so it can never outlive the connection it writes to.
   Connection* raw_conn = conn.get();

@@ -54,6 +54,7 @@ class EpollServer {
     // (sessions grouped by Hello::tenant_id).
     std::size_t tenant_budget_bytes = 0;
     std::uint64_t eviction_alert_threshold = 0;  // Stats alert (0 = off)
+    std::size_t state_store_budget_bytes = 0;  // per-session store (0 = off)
     int backlog = 128;
   };
 

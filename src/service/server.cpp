@@ -110,6 +110,7 @@ void ParamountServer::run_session(std::uint64_t session_id, UniqueFd fd) {
   Session::Limits limits;
   limits.submit_budget_bytes = options_.submit_budget_bytes;
   limits.eviction_alert_threshold = options_.eviction_alert_threshold;
+  limits.state_store_budget_bytes = options_.state_store_budget_bytes;
   Session session(FrameChannel(std::move(fd)), session_id, limits);
   const Session::Result result = session.run();
   std::vector<std::thread> reap;

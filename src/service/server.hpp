@@ -56,6 +56,7 @@ class ParamountServer {
     std::uint32_t max_sessions = 8;       // concurrent session ceiling
     std::size_t submit_budget_bytes = 0;  // per-session SubmitGate (0 = off)
     std::uint64_t eviction_alert_threshold = 0;  // Stats alert (0 = off)
+    std::size_t state_store_budget_bytes = 0;  // per-session store (0 = off)
     int backlog = 16;
   };
 
